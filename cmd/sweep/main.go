@@ -1,0 +1,150 @@
+// Command sweep runs the performance parameter sweeps behind the
+// benchmark harness and prints figure-style series: decision latency and
+// message cost of each algorithm as n, ℓ, t and GST vary.
+//
+// Usage:
+//
+//	sweep -series latency-vs-n
+//	sweep -series all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"homonyms/internal/adversary"
+	"homonyms/internal/core"
+	"homonyms/internal/hom"
+	"homonyms/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	series := flag.String("series", "all",
+		"series to print: latency-vs-n | messages-vs-l | latency-vs-gst | numerate-vs-l | all")
+	seed := flag.Int64("seed", 1, "determinism seed")
+	flag.Parse()
+
+	runs := map[string]func(int64) error{
+		"latency-vs-n":   latencyVsN,
+		"messages-vs-l":  messagesVsL,
+		"latency-vs-gst": latencyVsGST,
+		"numerate-vs-l":  numerateVsL,
+	}
+	if *series != "all" {
+		fn, ok := runs[*series]
+		if !ok {
+			return fmt.Errorf("unknown series %q", *series)
+		}
+		return fn(*seed)
+	}
+	for _, name := range []string{"latency-vs-n", "messages-vs-l", "latency-vs-gst", "numerate-vs-l"} {
+		fmt.Printf("\n=== %s ===\n", name)
+		if err := runs[name](*seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func measure(p hom.Params, gst int, seed int64) (latency, messages int, err error) {
+	inputs := make([]hom.Value, p.N)
+	for i := range inputs {
+		inputs[i] = hom.Value(i % 2)
+	}
+	adv := &adversary.Composite{
+		Selector: adversary.RandomT{Seed: seed},
+		Behavior: adversary.Equivocate{Seed: seed},
+	}
+	res, err := core.Run(core.Config{Params: p, Inputs: inputs, Adversary: adv, GST: gst})
+	if err != nil {
+		return 0, 0, err
+	}
+	if !res.Verdict.OK() {
+		return 0, 0, fmt.Errorf("run failed at %s: %s", p, res.Verdict)
+	}
+	return trace.LatestDecisionRound(res.Sim), res.Sim.Stats.MessagesDelivered, nil
+}
+
+func latencyVsN(seed int64) error {
+	fmt.Println("Figure-5 algorithm (psync, t=1, l chosen minimal solvable): latency vs n")
+	fmt.Printf("%6s %6s %10s %12s\n", "n", "l", "rounds", "messages")
+	for n := 4; n <= 12; n++ {
+		l := (n+3)/2 + 1 // smallest l with 2l > n+3t for t=1
+		if l > n {
+			l = n
+		}
+		p := hom.Params{N: n, L: l, T: 1, Synchrony: hom.PartiallySynchronous}
+		if !p.Solvable() {
+			continue
+		}
+		lat, msgs, err := measure(p, 1, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6d %6d %10d %12d\n", n, l, lat, msgs)
+	}
+	return nil
+}
+
+func messagesVsL(seed int64) error {
+	fmt.Println("T(EIG) (sync, n=9, t=1): cost vs identifier count l")
+	fmt.Printf("%6s %10s %12s\n", "l", "rounds", "messages")
+	for l := 4; l <= 9; l++ {
+		p := hom.Params{N: 9, L: l, T: 1, Synchrony: hom.Synchronous}
+		lat, msgs, err := measure(p, 1, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6d %10d %12d\n", l, lat, msgs)
+	}
+	return nil
+}
+
+func latencyVsGST(seed int64) error {
+	fmt.Println("Figure-5 algorithm (psync, n=6, l=5, t=1): decision latency vs GST")
+	fmt.Printf("%6s %10s\n", "gst", "rounds")
+	for _, gst := range []int{1, 9, 17, 33, 49} {
+		p := hom.Params{N: 6, L: 5, T: 1, Synchrony: hom.PartiallySynchronous}
+		inputs := make([]hom.Value, p.N)
+		for i := range inputs {
+			inputs[i] = hom.Value(i % 2)
+		}
+		adv := &adversary.Composite{
+			Selector: adversary.RandomT{Seed: seed},
+			Behavior: adversary.Silent{},
+			Drops:    adversary.RandomDrops{Seed: seed, Prob: 0.8},
+		}
+		res, err := core.Run(core.Config{Params: p, Inputs: inputs, Adversary: adv, GST: gst})
+		if err != nil {
+			return err
+		}
+		if !res.Verdict.OK() {
+			return fmt.Errorf("gst=%d: %s", gst, res.Verdict)
+		}
+		fmt.Printf("%6d %10d\n", gst, trace.LatestDecisionRound(res.Sim))
+	}
+	return nil
+}
+
+func numerateVsL(seed int64) error {
+	fmt.Println("Figure-7 algorithm (numerate, restricted, n=7, t=2): works down to l = t+1")
+	fmt.Printf("%6s %10s %12s\n", "l", "rounds", "messages")
+	for l := 3; l <= 7; l++ {
+		p := hom.Params{N: 7, L: l, T: 2, Synchrony: hom.PartiallySynchronous,
+			Numerate: true, RestrictedByzantine: true}
+		lat, msgs, err := measure(p, 1, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6d %10d %12d\n", l, lat, msgs)
+	}
+	return nil
+}

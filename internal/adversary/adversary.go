@@ -1,0 +1,285 @@
+// Package adversary provides reusable Byzantine strategies and message-
+// delivery adversaries for the simulation kernel. An adversary is composed
+// from three orthogonal pieces: which slots to corrupt (Selector), what the
+// corrupted slots send (Behavior), and which messages to suppress before
+// GST (DropPolicy). All pieces are deterministic in their seeds.
+package adversary
+
+import (
+	"math/rand"
+	"sort"
+
+	"homonyms/internal/hom"
+	"homonyms/internal/msg"
+	"homonyms/internal/sim"
+)
+
+// Selector chooses the corrupted slots.
+type Selector interface {
+	Select(p hom.Params, a hom.Assignment, inputs []hom.Value) []int
+}
+
+// Behavior produces the per-round sends of one corrupted slot.
+type Behavior interface {
+	Sends(round, slot int, view *sim.View) []msg.TargetedSend
+}
+
+// DropPolicy decides pre-GST message suppression.
+type DropPolicy interface {
+	Drop(round, fromSlot, toSlot int) bool
+}
+
+// Composite assembles a full sim.Adversary from the three pieces. Nil
+// pieces default to: corrupt nobody, send nothing, drop nothing.
+type Composite struct {
+	Selector Selector
+	Behavior Behavior
+	Drops    DropPolicy
+}
+
+var _ sim.Adversary = (*Composite)(nil)
+
+// Corrupt implements sim.Adversary.
+func (c *Composite) Corrupt(p hom.Params, a hom.Assignment, inputs []hom.Value) []int {
+	if c.Selector == nil {
+		return nil
+	}
+	return c.Selector.Select(p, a, inputs)
+}
+
+// Sends implements sim.Adversary.
+func (c *Composite) Sends(round, slot int, view *sim.View) []msg.TargetedSend {
+	if c.Behavior == nil {
+		return nil
+	}
+	return c.Behavior.Sends(round, slot, view)
+}
+
+// Drop implements sim.Adversary.
+func (c *Composite) Drop(round, fromSlot, toSlot int) bool {
+	if c.Drops == nil {
+		return false
+	}
+	return c.Drops.Drop(round, fromSlot, toSlot)
+}
+
+// ---------------------------------------------------------------------------
+// Selectors
+// ---------------------------------------------------------------------------
+
+// FirstT corrupts slots 0..T-1.
+type FirstT struct{}
+
+// Select implements Selector.
+func (FirstT) Select(p hom.Params, _ hom.Assignment, _ []hom.Value) []int {
+	out := make([]int, 0, p.T)
+	for s := 0; s < p.T; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Slots corrupts an explicit slot list.
+type Slots []int
+
+// Select implements Selector.
+func (s Slots) Select(hom.Params, hom.Assignment, []hom.Value) []int {
+	out := append([]int(nil), s...)
+	sort.Ints(out)
+	return out
+}
+
+// OnePerIdentifier corrupts, for each listed identifier, the first slot
+// holding it. Useful for putting a Byzantine process inside chosen homonym
+// groups.
+type OnePerIdentifier []hom.Identifier
+
+// Select implements Selector.
+func (ids OnePerIdentifier) Select(_ hom.Params, a hom.Assignment, _ []hom.Value) []int {
+	var out []int
+	for _, want := range ids {
+		for slot, id := range a {
+			if id == want {
+				out = append(out, slot)
+				break
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RandomT corrupts T uniformly random slots, deterministically in Seed.
+type RandomT struct{ Seed int64 }
+
+// Select implements Selector.
+func (r RandomT) Select(p hom.Params, _ hom.Assignment, _ []hom.Value) []int {
+	rng := rand.New(rand.NewSource(r.Seed))
+	perm := rng.Perm(p.N)
+	out := append([]int(nil), perm[:p.T]...)
+	sort.Ints(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Behaviors
+// ---------------------------------------------------------------------------
+
+// Silent sends nothing — the paper's lower-bound executions α and β use
+// exactly this.
+type Silent struct{}
+
+// Sends implements Behavior.
+func (Silent) Sends(int, int, *sim.View) []msg.TargetedSend { return nil }
+
+// Crash behaves correctly-silently: it sends nothing from the beginning
+// (a crash at time zero). For a crash after k rounds compose with Until.
+type Crash struct{}
+
+// Sends implements Behavior.
+func (Crash) Sends(int, int, *sim.View) []msg.TargetedSend { return nil }
+
+// Noise sends one random Raw payload to every recipient each round.
+// Deterministic in Seed, round and slot.
+type Noise struct{ Seed int64 }
+
+// Sends implements Behavior.
+func (nz Noise) Sends(round, slot int, view *sim.View) []msg.TargetedSend {
+	rng := rand.New(rand.NewSource(nz.Seed ^ int64(round)<<20 ^ int64(slot)))
+	out := make([]msg.TargetedSend, 0, view.Params.N)
+	for to := 0; to < view.Params.N; to++ {
+		out = append(out, msg.TargetedSend{
+			ToSlot: to,
+			Body:   msg.Raw(randomToken(rng)),
+		})
+	}
+	return out
+}
+
+// Equivocate forwards, to each recipient, the current-round broadcast of
+// some correct slot — a different one per recipient — so recipients see
+// well-formed but mutually inconsistent protocol messages under the
+// Byzantine slot's identifier. This is the strongest generic behaviour
+// against threshold protocols because every injected payload parses.
+type Equivocate struct{ Seed int64 }
+
+// Sends implements Behavior.
+func (e Equivocate) Sends(round, slot int, view *sim.View) []msg.TargetedSend {
+	senders := sortedCorrectSenders(view)
+	if len(senders) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(e.Seed ^ int64(round)<<18 ^ int64(slot)))
+	var out []msg.TargetedSend
+	for to := 0; to < view.Params.N; to++ {
+		src := senders[rng.Intn(len(senders))]
+		for _, s := range view.CorrectSends[src] {
+			if s.Kind == msg.ToAll {
+				out = append(out, msg.TargetedSend{ToSlot: to, Body: s.Body})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MimicFlood copies every current-round broadcast body of every correct
+// slot to every recipient (unrestricted multi-send). Against innumerate
+// receivers this floods each inbox with every plausible message of the
+// round under the Byzantine identifier.
+type MimicFlood struct{}
+
+// Sends implements Behavior.
+func (MimicFlood) Sends(round, slot int, view *sim.View) []msg.TargetedSend {
+	senders := sortedCorrectSenders(view)
+	var out []msg.TargetedSend
+	for to := 0; to < view.Params.N; to++ {
+		for _, src := range senders {
+			for _, s := range view.CorrectSends[src] {
+				if s.Kind == msg.ToAll {
+					out = append(out, msg.TargetedSend{ToSlot: to, Body: s.Body})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Until runs Inner for rounds <= Round, then goes silent — e.g. a crash
+// after a prefix of correct-looking behaviour.
+type Until struct {
+	Round int
+	Inner Behavior
+}
+
+// Sends implements Behavior.
+func (u Until) Sends(round, slot int, view *sim.View) []msg.TargetedSend {
+	if round > u.Round || u.Inner == nil {
+		return nil
+	}
+	return u.Inner.Sends(round, slot, view)
+}
+
+// ---------------------------------------------------------------------------
+// Drop policies
+// ---------------------------------------------------------------------------
+
+// NoDrops never suppresses a message.
+type NoDrops struct{}
+
+// Drop implements DropPolicy.
+func (NoDrops) Drop(int, int, int) bool { return false }
+
+// RandomDrops suppresses each (round, from, to) delivery independently
+// with probability Prob, deterministically in Seed. The engine already
+// refuses drops at or after GST and on self-deliveries.
+type RandomDrops struct {
+	Seed int64
+	Prob float64
+}
+
+// Drop implements DropPolicy.
+func (r RandomDrops) Drop(round, from, to int) bool {
+	h := int64(round)*1_000_003 + int64(from)*10_007 + int64(to)
+	rng := rand.New(rand.NewSource(r.Seed ^ h))
+	return rng.Float64() < r.Prob
+}
+
+// PartitionDrops suppresses every message that crosses between groups, as
+// in the paper's Figure-4 construction. GroupOf maps a slot to its side;
+// slots mapped to a negative group are never partitioned.
+type PartitionDrops struct {
+	GroupOf func(slot int) int
+}
+
+// Drop implements DropPolicy.
+func (p PartitionDrops) Drop(_, from, to int) bool {
+	if p.GroupOf == nil {
+		return false
+	}
+	gf, gt := p.GroupOf(from), p.GroupOf(to)
+	return gf >= 0 && gt >= 0 && gf != gt
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------------
+
+func sortedCorrectSenders(view *sim.View) []int {
+	out := make([]int, 0, len(view.CorrectSends))
+	for s := range view.CorrectSends {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+const tokenAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+func randomToken(rng *rand.Rand) string {
+	b := make([]byte, 8)
+	for i := range b {
+		b[i] = tokenAlphabet[rng.Intn(len(tokenAlphabet))]
+	}
+	return string(b)
+}

@@ -1,0 +1,183 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"homonyms/internal/adversary"
+	"homonyms/internal/hom"
+	"homonyms/internal/msg"
+	"homonyms/internal/sim"
+)
+
+func params(n, l, t int) hom.Params {
+	return hom.Params{N: n, L: l, T: t, Synchrony: hom.Synchronous}
+}
+
+func view(n int, sends map[int][]msg.Send) *sim.View {
+	return &sim.View{
+		Params:       params(n, n, 1),
+		Assignment:   hom.RoundRobinAssignment(n, n),
+		Round:        1,
+		CorrectSends: sends,
+	}
+}
+
+func TestSelectors(t *testing.T) {
+	p := params(6, 3, 2)
+	a := hom.RoundRobinAssignment(6, 3)
+
+	if got := (adversary.FirstT{}).Select(p, a, nil); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("FirstT = %v", got)
+	}
+	if got := (adversary.Slots{4, 1}).Select(p, a, nil); got[0] != 1 || got[1] != 4 {
+		t.Fatalf("Slots not sorted: %v", got)
+	}
+	// OnePerIdentifier picks the first slot of each identifier.
+	got := adversary.OnePerIdentifier{2, 3}.Select(p, a, nil)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("OnePerIdentifier = %v, want [1 2]", got)
+	}
+	// RandomT is deterministic in its seed and within budget.
+	r1 := adversary.RandomT{Seed: 9}.Select(p, a, nil)
+	r2 := adversary.RandomT{Seed: 9}.Select(p, a, nil)
+	if len(r1) != p.T {
+		t.Fatalf("RandomT size = %d, want %d", len(r1), p.T)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("RandomT not deterministic")
+		}
+	}
+}
+
+func TestSilentAndCrash(t *testing.T) {
+	if got := (adversary.Silent{}).Sends(1, 0, view(3, nil)); got != nil {
+		t.Fatalf("Silent sent %v", got)
+	}
+	if got := (adversary.Crash{}).Sends(1, 0, view(3, nil)); got != nil {
+		t.Fatalf("Crash sent %v", got)
+	}
+}
+
+func TestNoiseDeterministicAndTotal(t *testing.T) {
+	nz := adversary.Noise{Seed: 4}
+	v := view(4, nil)
+	a := nz.Sends(3, 1, v)
+	b := nz.Sends(3, 1, v)
+	if len(a) != 4 {
+		t.Fatalf("Noise sent %d messages, want one per recipient", len(a))
+	}
+	for i := range a {
+		if a[i].ToSlot != b[i].ToSlot || a[i].Body.Key() != b[i].Body.Key() {
+			t.Fatal("Noise not deterministic")
+		}
+	}
+	// Different rounds produce different payloads.
+	c := nz.Sends(4, 1, v)
+	if a[0].Body.Key() == c[0].Body.Key() {
+		t.Fatal("Noise payload did not vary with round")
+	}
+}
+
+func TestEquivocateForwardsRealPayloads(t *testing.T) {
+	sends := map[int][]msg.Send{
+		0: {msg.Broadcast(msg.Raw("a"))},
+		2: {msg.Broadcast(msg.Raw("b"))},
+	}
+	out := adversary.Equivocate{Seed: 1}.Sends(1, 1, view(4, sends))
+	if len(out) != 4 {
+		t.Fatalf("Equivocate sent %d, want 4", len(out))
+	}
+	for _, ts := range out {
+		k := ts.Body.Key()
+		if k != msg.Raw("a").Key() && k != msg.Raw("b").Key() {
+			t.Fatalf("Equivocate forged payload %q", k)
+		}
+	}
+}
+
+func TestEquivocateNoCorrectSenders(t *testing.T) {
+	if out := (adversary.Equivocate{Seed: 1}).Sends(1, 0, view(3, nil)); out != nil {
+		t.Fatalf("Equivocate with no senders sent %v", out)
+	}
+}
+
+func TestMimicFloodSendsEverythingToEveryone(t *testing.T) {
+	sends := map[int][]msg.Send{
+		0: {msg.Broadcast(msg.Raw("a"))},
+		1: {msg.Broadcast(msg.Raw("b")), msg.SendTo(1, msg.Raw("targeted"))},
+	}
+	out := adversary.MimicFlood{}.Sends(1, 2, view(3, sends))
+	// 2 broadcast bodies x 3 recipients (targeted sends are not copied).
+	if len(out) != 6 {
+		t.Fatalf("MimicFlood sent %d, want 6", len(out))
+	}
+}
+
+func TestUntilCutsOff(t *testing.T) {
+	u := adversary.Until{Round: 2, Inner: adversary.Noise{Seed: 1}}
+	if got := u.Sends(2, 0, view(3, nil)); len(got) == 0 {
+		t.Fatal("Until silenced inner before its round")
+	}
+	if got := u.Sends(3, 0, view(3, nil)); got != nil {
+		t.Fatal("Until leaked inner after its round")
+	}
+}
+
+func TestDropPolicies(t *testing.T) {
+	if (adversary.NoDrops{}).Drop(1, 0, 1) {
+		t.Fatal("NoDrops dropped")
+	}
+	rd := adversary.RandomDrops{Seed: 2, Prob: 1.0}
+	if !rd.Drop(1, 0, 1) {
+		t.Fatal("RandomDrops with prob 1 did not drop")
+	}
+	rd = adversary.RandomDrops{Seed: 2, Prob: 0.0}
+	if rd.Drop(1, 0, 1) {
+		t.Fatal("RandomDrops with prob 0 dropped")
+	}
+	pd := adversary.PartitionDrops{GroupOf: func(s int) int {
+		if s < 2 {
+			return 0
+		}
+		if s == 4 {
+			return -1 // ungrouped slot is never partitioned
+		}
+		return 1
+	}}
+	if !pd.Drop(1, 0, 3) || !pd.Drop(1, 3, 1) {
+		t.Fatal("PartitionDrops failed to cut across groups")
+	}
+	if pd.Drop(1, 0, 1) || pd.Drop(1, 2, 3) {
+		t.Fatal("PartitionDrops cut within a group")
+	}
+	if pd.Drop(1, 0, 4) || pd.Drop(1, 4, 3) {
+		t.Fatal("PartitionDrops cut an ungrouped slot")
+	}
+}
+
+func TestCompositeNilPieces(t *testing.T) {
+	c := &adversary.Composite{}
+	if got := c.Corrupt(params(4, 4, 1), hom.RoundRobinAssignment(4, 4), nil); got != nil {
+		t.Fatalf("nil selector corrupted %v", got)
+	}
+	if got := c.Sends(1, 0, view(4, nil)); got != nil {
+		t.Fatalf("nil behavior sent %v", got)
+	}
+	if c.Drop(1, 0, 1) {
+		t.Fatal("nil drop policy dropped")
+	}
+}
+
+func TestRandomDropsDeterministic(t *testing.T) {
+	rd := adversary.RandomDrops{Seed: 7, Prob: 0.5}
+	for round := 1; round < 20; round++ {
+		for from := 0; from < 4; from++ {
+			for to := 0; to < 4; to++ {
+				if rd.Drop(round, from, to) != rd.Drop(round, from, to) {
+					t.Fatal("RandomDrops not deterministic")
+				}
+			}
+		}
+	}
+}

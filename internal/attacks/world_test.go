@@ -1,0 +1,150 @@
+package attacks
+
+import (
+	"testing"
+
+	"homonyms/internal/hom"
+	"homonyms/internal/msg"
+	"homonyms/internal/sim"
+)
+
+// pingProc broadcasts a constant and decides once it has heard k distinct
+// identifiers.
+type pingProc struct {
+	id      hom.Identifier
+	k       int
+	heard   map[hom.Identifier]bool
+	decided bool
+}
+
+func (p *pingProc) Init(ctx sim.Context) {
+	p.id = ctx.ID
+	p.heard = map[hom.Identifier]bool{}
+}
+
+func (p *pingProc) Prepare(int) []msg.Send {
+	return []msg.Send{msg.Broadcast(msg.Raw("ping"))}
+}
+
+func (p *pingProc) Receive(_ int, in *msg.Inbox) {
+	for _, m := range in.Messages() {
+		p.heard[m.ID] = true
+	}
+	if len(p.heard) >= p.k {
+		p.decided = true
+	}
+}
+
+func (p *pingProc) Decision() (hom.Value, bool) { return hom.Value(len(p.heard)), p.decided }
+
+func TestWorldCompleteRouting(t *testing.T) {
+	ids := []hom.Identifier{1, 2, 3}
+	procs := []sim.Process{&pingProc{k: 3}, &pingProc{k: 3}, &pingProc{k: 3}}
+	w := NewWorld(procs, ids, []hom.Value{0, 0, 0},
+		hom.Params{N: 3, L: 3, T: 0, Synchrony: hom.Synchronous}, false, nil)
+	w.Step()
+	if !w.AllDecided([]int{0, 1, 2}) {
+		t.Fatal("complete routing failed to deliver everything")
+	}
+	if dec := w.Decisions(); dec[0] != 3 {
+		t.Fatalf("slot 0 heard %d identifiers, want 3", dec[0])
+	}
+}
+
+func TestWorldRouteMask(t *testing.T) {
+	ids := []hom.Identifier{1, 2, 3}
+	procs := []sim.Process{&pingProc{k: 3}, &pingProc{k: 3}, &pingProc{k: 2}}
+	// Slot 2 never hears slot 0.
+	route := func(from, to int) bool { return !(from == 0 && to == 2) }
+	w := NewWorld(procs, ids, []hom.Value{0, 0, 0},
+		hom.Params{N: 3, L: 3, T: 0, Synchrony: hom.Synchronous}, false, route)
+	for i := 0; i < 3; i++ {
+		w.Step()
+	}
+	dec := w.Decisions()
+	if dec[2] != 2 {
+		t.Fatalf("masked slot heard %d identifiers, want 2", dec[2])
+	}
+	if dec[0] != 3 || dec[1] != 3 {
+		t.Fatalf("unmasked slots heard %d/%d, want 3/3", dec[0], dec[1])
+	}
+}
+
+func TestWorldSilentSlots(t *testing.T) {
+	ids := []hom.Identifier{1, 2, 3}
+	procs := []sim.Process{&pingProc{k: 2}, nil, &pingProc{k: 2}}
+	w := NewWorld(procs, ids, []hom.Value{0, 0, 0},
+		hom.Params{N: 3, L: 3, T: 1, Synchrony: hom.Synchronous}, false, nil)
+	w.Step()
+	dec := w.Decisions()
+	if dec[1] != hom.NoValue {
+		t.Fatal("silent slot reported a decision")
+	}
+	if dec[0] != 2 || dec[2] != 2 {
+		t.Fatalf("live slots heard %d/%d identifiers, want 2/2 (silent slot mute)", dec[0], dec[2])
+	}
+}
+
+func TestWorldIdentifierTargetedSends(t *testing.T) {
+	ids := []hom.Identifier{1, 2, 2}
+	sender := &targetedProc{}
+	rcv1 := &pingProc{k: 99}
+	rcv2 := &pingProc{k: 99}
+	w := NewWorld([]sim.Process{sender, rcv1, rcv2}, ids, []hom.Value{0, 0, 0},
+		hom.Params{N: 3, L: 2, T: 0, Synchrony: hom.Synchronous}, false, nil)
+	w.Step()
+	// The ToIdentifier(2) send must reach both identifier-2 slots (which
+	// also hear each other's broadcasts, so they see identifiers 1 and 2)
+	// but must NOT loop back to the identifier-1 sender, which therefore
+	// only hears the identifier-2 broadcasts.
+	if !rcv1.heard[1] || !rcv2.heard[1] {
+		t.Fatalf("identifier-2 slots missed the targeted send: %v / %v", rcv1.heard, rcv2.heard)
+	}
+	if sender.heard[1] {
+		t.Fatalf("sender received its own identifier-2-addressed message: %v", sender.heard)
+	}
+	if !sender.heard[2] {
+		t.Fatalf("sender missed the identifier-2 broadcasts: %v", sender.heard)
+	}
+	if got := len(w.SendsOf(0)); got != 1 {
+		t.Fatalf("SendsOf(0) = %d sends, want 1", got)
+	}
+}
+
+type targetedProc struct {
+	heard map[hom.Identifier]bool
+}
+
+func (p *targetedProc) Init(sim.Context) { p.heard = map[hom.Identifier]bool{} }
+func (p *targetedProc) Prepare(int) []msg.Send {
+	return []msg.Send{msg.SendTo(2, msg.Raw("direct"))}
+}
+func (p *targetedProc) Receive(_ int, in *msg.Inbox) {
+	for _, m := range in.Messages() {
+		p.heard[m.ID] = true
+	}
+}
+func (p *targetedProc) Decision() (hom.Value, bool) { return hom.NoValue, false }
+
+func TestWorldNumerateReception(t *testing.T) {
+	// Two clones of identifier 1 broadcast the same payload: a numerate
+	// receiver must count 2 copies.
+	ids := []hom.Identifier{1, 1, 2}
+	counter := &copyCounter{}
+	procs := []sim.Process{&pingProc{k: 9}, &pingProc{k: 9}, counter}
+	w := NewWorld(procs, ids, []hom.Value{0, 0, 0},
+		hom.Params{N: 3, L: 2, T: 0, Synchrony: hom.Synchronous, Numerate: true}, true, nil)
+	w.Step()
+	if counter.copies != 2 {
+		t.Fatalf("numerate world counted %d copies, want 2", counter.copies)
+	}
+}
+
+type copyCounter struct{ copies int }
+
+func (c *copyCounter) Init(sim.Context)       {}
+func (c *copyCounter) Prepare(int) []msg.Send { return nil }
+func (c *copyCounter) Receive(_ int, in *msg.Inbox) {
+	c.copies = in.Count(msg.Message{ID: 1, Body: msg.Raw("ping")})
+}
+func (c *copyCounter) Decision() (hom.Value, bool) { return hom.NoValue, false }

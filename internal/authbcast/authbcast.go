@@ -1,0 +1,188 @@
+// Package authbcast implements the paper's authenticated broadcast
+// primitive for homonymous systems (Proposition 6), a generalisation of
+// Srikanth–Toueg authenticated broadcast to ℓ identifiers. It requires
+// ℓ > 3t and provides, in the basic partially synchronous model:
+//
+//   - Correctness: if a process with identifier i performs Broadcast(m) in
+//     superround r ≥ T (the stabilisation superround), every correct
+//     process performs Accept(m, i) during superround r.
+//   - Unforgeability: if all processes with identifier i are correct and
+//     none performs Broadcast(m), no correct process performs
+//     Accept(m, i).
+//   - Relay: if some correct process performs Accept(m, i) during
+//     superround r, every correct process performs Accept(m, i) by
+//     superround max(r+1, T).
+//
+// Wire protocol (superround r = rounds 2r−1 and 2r, 1-based): the
+// broadcaster sends ⟨init m⟩ in round 2r−1. A process that receives
+// ⟨init m⟩ from identifier i sends ⟨echo m, r, i⟩ in every subsequent
+// round. A process that has received ⟨echo m, r, i⟩ from ℓ−2t distinct
+// identifiers sends the echo in every subsequent round too. A process that
+// has received the echo from ℓ−t distinct identifiers performs
+// Accept(m, i). All counting is over distinct identifiers, so the
+// primitive works for innumerate processes.
+//
+// The Broadcaster type is a passive component: a host process (package
+// psynchom) owns the round loop and calls Outgoing/Ingest each round.
+package authbcast
+
+import (
+	"errors"
+	"sort"
+
+	"homonyms/internal/hom"
+	"homonyms/internal/msg"
+)
+
+// ErrResilience is returned when ℓ ≤ 3t.
+var ErrResilience = errors.New("authbcast: authenticated broadcast requires l > 3t")
+
+// InitPayload is the ⟨init m⟩ message starting a broadcast.
+type InitPayload struct {
+	Body msg.Payload
+}
+
+// Key implements msg.Payload.
+func (p InitPayload) Key() string { return msg.NewKey("abinit").Str(p.Body.Key()).String() }
+
+// EchoPayload is the ⟨echo m, r, i⟩ message supporting the broadcast of m
+// performed under identifier ID in superround SR.
+type EchoPayload struct {
+	Body msg.Payload
+	SR   int
+	ID   hom.Identifier
+}
+
+// Key implements msg.Payload.
+func (p EchoPayload) Key() string {
+	return msg.NewKey("abecho").Int(p.SR).Identifier(p.ID).Str(p.Body.Key()).String()
+}
+
+// Accept records one Accept(m, i) action: the payload m, the broadcaster
+// identifier i, and the superround the broadcast was started in.
+type Accept struct {
+	ID   hom.Identifier
+	Body msg.Payload
+	SR   int
+}
+
+// tupleState tracks one (m, r, i) echo tuple.
+type tupleState struct {
+	body     msg.Payload
+	sr       int
+	id       hom.Identifier
+	echoers  map[hom.Identifier]bool // distinct identifiers seen echoing
+	echoing  bool                    // we include the echo in our sends
+	accepted bool
+}
+
+// Broadcaster is the per-process broadcast component. The zero value is
+// not usable; construct with New.
+type Broadcaster struct {
+	l, t    int
+	pending []msg.Payload          // Broadcast bodies queued for the next odd round
+	tuples  map[string]*tupleState // tuple key -> state
+	order   []string               // insertion order of tuple keys (determinism)
+}
+
+// New returns a broadcaster for a system with l identifiers and at most t
+// Byzantine processes.
+func New(l, t int) (*Broadcaster, error) {
+	if l <= 3*t {
+		return nil, ErrResilience
+	}
+	return &Broadcaster{l: l, t: t, tuples: make(map[string]*tupleState)}, nil
+}
+
+// Superround maps a 1-based round to its 1-based superround.
+func Superround(round int) int { return (round + 1) / 2 }
+
+// IsInitRound reports whether the round is the first round of its
+// superround (where ⟨init⟩ messages are sent and received).
+func IsInitRound(round int) bool { return round%2 == 1 }
+
+// Broadcast queues m to be initiated at the next init round. The paper's
+// Broadcast(m) is bound to a specific superround; hosts call this method
+// during their Prepare of an init round (or just before), and the init
+// goes out with that round's sends.
+func (b *Broadcaster) Broadcast(m msg.Payload) {
+	b.pending = append(b.pending, m)
+}
+
+// Outgoing returns the broadcast-layer payloads to send in the given
+// round: pending ⟨init⟩ messages if this is an init round, plus every echo
+// obligation accumulated so far ("in all subsequent rounds").
+func (b *Broadcaster) Outgoing(round int) []msg.Payload {
+	var out []msg.Payload
+	if IsInitRound(round) {
+		for _, m := range b.pending {
+			out = append(out, InitPayload{Body: m})
+		}
+		b.pending = nil
+	}
+	for _, k := range b.order {
+		ts := b.tuples[k]
+		if ts.echoing && round > 2*ts.sr-1 {
+			out = append(out, EchoPayload{Body: ts.body, SR: ts.sr, ID: ts.id})
+		}
+	}
+	return out
+}
+
+// Ingest processes the round's inbox and returns the Accept actions newly
+// performed this round, in deterministic order.
+func (b *Broadcaster) Ingest(round int, in *msg.Inbox) []Accept {
+	sr := Superround(round)
+	// ⟨init⟩ messages are only meaningful in the first round of a
+	// superround; an init from identifier i starts the (m, sr, i) tuple.
+	if IsInitRound(round) {
+		for _, m := range in.Messages() {
+			ip, ok := m.Body.(InitPayload)
+			if !ok || ip.Body == nil {
+				continue
+			}
+			ts := b.tuple(ip.Body, sr, m.ID)
+			ts.echoing = true
+		}
+	}
+	// ⟨echo⟩ messages accumulate per-tuple distinct-identifier support.
+	for _, m := range in.Messages() {
+		ep, ok := m.Body.(EchoPayload)
+		if !ok || ep.Body == nil || ep.SR < 1 || ep.SR > sr || !ep.ID.IsValid(b.l) {
+			continue
+		}
+		ts := b.tuple(ep.Body, ep.SR, ep.ID)
+		ts.echoers[m.ID] = true
+	}
+	// Threshold checks (cumulative over all rounds).
+	var accepts []Accept
+	keys := append([]string(nil), b.order...)
+	sort.Strings(keys)
+	for _, k := range keys {
+		ts := b.tuples[k]
+		if len(ts.echoers) >= b.l-2*b.t {
+			ts.echoing = true
+		}
+		if !ts.accepted && len(ts.echoers) >= b.l-b.t {
+			ts.accepted = true
+			accepts = append(accepts, Accept{ID: ts.id, Body: ts.body, SR: ts.sr})
+		}
+	}
+	return accepts
+}
+
+// tuple returns (creating if needed) the state of the (m, sr, i) tuple.
+func (b *Broadcaster) tuple(body msg.Payload, sr int, id hom.Identifier) *tupleState {
+	k := EchoPayload{Body: body, SR: sr, ID: id}.Key()
+	if ts, ok := b.tuples[k]; ok {
+		return ts
+	}
+	ts := &tupleState{body: body, sr: sr, id: id, echoers: make(map[hom.Identifier]bool, b.l)}
+	b.tuples[k] = ts
+	b.order = append(b.order, k)
+	return ts
+}
+
+// TupleCount reports the number of tracked tuples (for tests and memory
+// accounting).
+func (b *Broadcaster) TupleCount() int { return len(b.tuples) }

@@ -1,0 +1,326 @@
+package classical
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"homonyms/internal/hom"
+	"homonyms/internal/msg"
+)
+
+// EIG is the exponential-information-gathering Byzantine agreement
+// algorithm (Pease–Shostak–Lamport style) for ℓ processes with unique
+// identifiers, tolerating t Byzantine faults when ℓ > 3t. It runs t+1
+// rounds; messages at round r carry the level-(r−1) frontier of the EIG
+// tree, so message size is exponential in t — acceptable for the small
+// instances the paper's constructions need, and the price of optimal
+// resilience, which the transformation T(A) requires (ℓ > 3t exactly
+// matches EIG's requirement).
+type EIG struct {
+	l, t         int
+	domain       []hom.Value
+	rounds       int
+	defaultValue hom.Value
+}
+
+var _ Algorithm = (*EIG)(nil)
+
+// NewEIG builds an EIG instance for l processes tolerating t faults over
+// the given domain (nil means binary {0,1}).
+func NewEIG(l, t int, domain []hom.Value) (*EIG, error) {
+	if t < 0 {
+		return nil, ErrBadFaults
+	}
+	if l <= 3*t {
+		return nil, ErrEIGResilience
+	}
+	return newEIG(l, t, domain)
+}
+
+// NewEIGUnchecked builds an EIG instance without the l > 3t resilience
+// check. It exists solely for the impossibility experiments (package
+// attacks), which need a concrete algorithm that *claims* to solve
+// agreement with too few identifiers so the paper's lower-bound
+// constructions can exhibit how it fails. Never use it in real systems.
+func NewEIGUnchecked(l, t int, domain []hom.Value) (*EIG, error) {
+	if t < 0 {
+		return nil, ErrBadFaults
+	}
+	if l < 2 {
+		return nil, ErrEIGResilience
+	}
+	return newEIG(l, t, domain)
+}
+
+func newEIG(l, t int, domain []hom.Value) (*EIG, error) {
+	if domain == nil {
+		domain = hom.DefaultDomain()
+	}
+	if err := validateDomain(domain); err != nil {
+		return nil, err
+	}
+	return &EIG{l: l, t: t, domain: domain, rounds: t + 1, defaultValue: domain[0]}, nil
+}
+
+// Name implements Algorithm.
+func (e *EIG) Name() string { return "eig" }
+
+// Processes implements Algorithm.
+func (e *EIG) Processes() int { return e.l }
+
+// Faults implements Algorithm.
+func (e *EIG) Faults() int { return e.t }
+
+// DecisionRound implements Algorithm: every correct process decides at the
+// end of round t+1.
+func (e *EIG) DecisionRound() int { return e.rounds }
+
+// eigState is the EIG process state: the information-gathering tree plus
+// the decision once resolved. Labels are dot-joined identifier paths
+// ("3" at level 1, "3.5" at level 2, ...); the root is the empty label and
+// is never stored.
+type eigState struct {
+	id      hom.Identifier
+	input   hom.Value
+	tree    map[string]hom.Value
+	decided hom.Value
+	key     string
+}
+
+// Key implements msg.Payload (states travel during selection rounds of the
+// transformation).
+func (s *eigState) Key() string { return s.key }
+
+func (e *EIG) freezeState(s *eigState) *eigState {
+	labels := make([]string, 0, len(s.tree))
+	for lbl := range s.tree {
+		labels = append(labels, lbl)
+	}
+	sort.Strings(labels)
+	var b strings.Builder
+	b.WriteString("eigstate|")
+	b.WriteString(strconv.Itoa(int(s.id)))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(s.input)))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(s.decided)))
+	for _, lbl := range labels {
+		b.WriteByte('|')
+		b.WriteString(lbl)
+		b.WriteByte('=')
+		b.WriteString(strconv.Itoa(int(s.tree[lbl])))
+	}
+	s.key = b.String()
+	return s
+}
+
+// Init implements Algorithm.
+func (e *EIG) Init(id hom.Identifier, v hom.Value) State {
+	return e.freezeState(&eigState{
+		id:      id,
+		input:   e.clampValue(v),
+		tree:    map[string]hom.Value{},
+		decided: hom.NoValue,
+	})
+}
+
+func (e *EIG) clampValue(v hom.Value) hom.Value {
+	for _, d := range e.domain {
+		if d == v {
+			return v
+		}
+	}
+	return e.defaultValue
+}
+
+// EIGEntry is one (label, value) pair of an EIG message.
+type EIGEntry struct {
+	Label string
+	Val   hom.Value
+}
+
+// EIGPayload carries one frontier level of the sender's EIG tree.
+type EIGPayload struct {
+	Level   int
+	Entries []EIGEntry // sorted by label
+	key     string
+}
+
+// NewEIGPayload builds a payload with canonical ordering and a cached key.
+func NewEIGPayload(level int, entries []EIGEntry) *EIGPayload {
+	sorted := append([]EIGEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Label < sorted[j].Label })
+	var b strings.Builder
+	b.WriteString("eigmsg|")
+	b.WriteString(strconv.Itoa(level))
+	for _, en := range sorted {
+		b.WriteByte('|')
+		b.WriteString(en.Label)
+		b.WriteByte('=')
+		b.WriteString(strconv.Itoa(int(en.Val)))
+	}
+	return &EIGPayload{Level: level, Entries: sorted, key: b.String()}
+}
+
+// Key implements msg.Payload.
+func (p *EIGPayload) Key() string { return p.key }
+
+// Message implements Algorithm. In round 1 a process broadcasts its input
+// (the root entry); in round r > 1 it relays every level-(r−1) tree entry
+// whose label does not contain its own identifier.
+func (e *EIG) Message(s State, round int) msg.Payload {
+	st, ok := s.(*eigState)
+	if !ok || round > e.rounds {
+		return nil
+	}
+	if round == 1 {
+		return NewEIGPayload(0, []EIGEntry{{Label: "", Val: st.input}})
+	}
+	var entries []EIGEntry
+	for lbl, v := range st.tree {
+		if labelLevel(lbl) != round-1 {
+			continue
+		}
+		if labelContains(lbl, st.id) {
+			continue
+		}
+		entries = append(entries, EIGEntry{Label: lbl, Val: v})
+	}
+	return NewEIGPayload(round-1, entries)
+}
+
+// Transition implements Algorithm. Receiving entry (σ, v) from identifier
+// j stores v at label σ·j, provided σ is a well-formed level-(r−1) label
+// not containing j. At the end of round t+1 the tree is resolved
+// bottom-up by recursive strict majority and the decision fixed.
+func (e *EIG) Transition(s State, round int, received []msg.Message) State {
+	st, ok := s.(*eigState)
+	if !ok || round > e.rounds {
+		return s
+	}
+	next := &eigState{
+		id:      st.id,
+		input:   st.input,
+		tree:    make(map[string]hom.Value, len(st.tree)+len(received)*4),
+		decided: st.decided,
+	}
+	for lbl, v := range st.tree {
+		next.tree[lbl] = v
+	}
+	for _, m := range received {
+		p, ok := m.Body.(*EIGPayload)
+		if !ok || p.Level != round-1 {
+			continue
+		}
+		for _, en := range p.Entries {
+			if !e.wellFormedLabel(en.Label, round-1, m.ID) {
+				continue
+			}
+			child := extendLabel(en.Label, m.ID)
+			next.tree[child] = e.clampValue(en.Val)
+		}
+	}
+	if round == e.rounds && next.decided == hom.NoValue {
+		next.decided = e.resolve(next.tree, "")
+	}
+	return e.freezeState(next)
+}
+
+// Decide implements Algorithm.
+func (e *EIG) Decide(s State) hom.Value {
+	st, ok := s.(*eigState)
+	if !ok {
+		return hom.NoValue
+	}
+	return st.decided
+}
+
+// resolve computes the recursive strict-majority value of the subtree
+// rooted at label: a leaf (level t+1) resolves to its stored value
+// (default if missing); an inner node resolves to the strict majority of
+// its children's resolutions, or the default value when no strict
+// majority exists.
+func (e *EIG) resolve(tree map[string]hom.Value, label string) hom.Value {
+	level := labelLevel(label)
+	if level == e.rounds {
+		if v, ok := tree[label]; ok {
+			return v
+		}
+		return e.defaultValue
+	}
+	counts := make(map[hom.Value]int, len(e.domain))
+	children := 0
+	for j := 1; j <= e.l; j++ {
+		id := hom.Identifier(j)
+		if labelContains(label, id) {
+			continue
+		}
+		children++
+		counts[e.resolve(tree, extendLabel(label, id))]++
+	}
+	for _, v := range sortedValues(counts) {
+		if 2*counts[v] > children {
+			return v
+		}
+	}
+	return e.defaultValue
+}
+
+func sortedValues(counts map[hom.Value]int) []hom.Value {
+	out := make([]hom.Value, 0, len(counts))
+	for v := range counts {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// wellFormedLabel checks that lbl is a level-`level` label over distinct
+// valid identifiers, none equal to sender (a process never relays a label
+// containing its own identifier, so such an entry is forged).
+func (e *EIG) wellFormedLabel(lbl string, level int, sender hom.Identifier) bool {
+	if lbl == "" {
+		return level == 0
+	}
+	parts := strings.Split(lbl, ".")
+	if len(parts) != level {
+		return false
+	}
+	seen := make(map[int]bool, len(parts))
+	for _, p := range parts {
+		id, err := strconv.Atoi(p)
+		if err != nil || id < 1 || id > e.l || seen[id] || hom.Identifier(id) == sender {
+			return false
+		}
+		seen[id] = true
+	}
+	return true
+}
+
+func labelLevel(lbl string) int {
+	if lbl == "" {
+		return 0
+	}
+	return strings.Count(lbl, ".") + 1
+}
+
+func labelContains(lbl string, id hom.Identifier) bool {
+	if lbl == "" {
+		return false
+	}
+	want := strconv.Itoa(int(id))
+	for _, p := range strings.Split(lbl, ".") {
+		if p == want {
+			return true
+		}
+	}
+	return false
+}
+
+func extendLabel(lbl string, id hom.Identifier) string {
+	if lbl == "" {
+		return strconv.Itoa(int(id))
+	}
+	return lbl + "." + strconv.Itoa(int(id))
+}

@@ -1,0 +1,251 @@
+package classical
+
+import (
+	"testing"
+	"testing/quick"
+
+	"homonyms/internal/hom"
+	"homonyms/internal/msg"
+)
+
+func TestLabelHelpers(t *testing.T) {
+	tests := []struct {
+		label    string
+		level    int
+		contains hom.Identifier
+		want     bool
+	}{
+		{"", 0, 1, false},
+		{"3", 1, 3, true},
+		{"3", 1, 1, false},
+		{"3.5", 2, 5, true},
+		{"3.5", 2, 3, true},
+		{"3.5", 2, 4, false},
+		{"10.2", 2, 1, false}, // "1" must not match inside "10"
+	}
+	for _, tc := range tests {
+		if got := labelLevel(tc.label); got != tc.level {
+			t.Errorf("labelLevel(%q) = %d, want %d", tc.label, got, tc.level)
+		}
+		if got := labelContains(tc.label, tc.contains); got != tc.want {
+			t.Errorf("labelContains(%q, %d) = %v, want %v", tc.label, tc.contains, got, tc.want)
+		}
+	}
+	if got := extendLabel("", 4); got != "4" {
+		t.Errorf("extendLabel root = %q", got)
+	}
+	if got := extendLabel("4", 2); got != "4.2" {
+		t.Errorf("extendLabel = %q", got)
+	}
+}
+
+func TestWellFormedLabel(t *testing.T) {
+	e, err := NewEIG(4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		label  string
+		level  int
+		sender hom.Identifier
+		want   bool
+	}{
+		{"", 0, 1, true},
+		{"", 1, 1, false}, // wrong level
+		{"2", 1, 1, true},
+		{"2", 1, 2, false},   // sender relaying its own label
+		{"2.2", 2, 1, false}, // duplicate identifier
+		{"9", 1, 1, false},   // out of range
+		{"x", 1, 1, false},   // junk
+		{"2.3", 2, 1, true},
+		{"2.3", 1, 1, false}, // level mismatch
+	}
+	for _, tc := range tests {
+		if got := e.wellFormedLabel(tc.label, tc.level, tc.sender); got != tc.want {
+			t.Errorf("wellFormedLabel(%q, %d, %d) = %v, want %v",
+				tc.label, tc.level, tc.sender, got, tc.want)
+		}
+	}
+}
+
+func TestEIGResolveMajority(t *testing.T) {
+	e, err := NewEIG(4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t+1 = 2 levels. Children of the root are labels "1".."4"; give
+	// three subtrees resolving to 1 and one to 0: the root must resolve
+	// to the strict majority 1.
+	tree := map[string]hom.Value{}
+	for _, root := range []string{"1", "2", "3"} {
+		for j := 1; j <= 4; j++ {
+			id := hom.Identifier(j)
+			if labelContains(root, id) {
+				continue
+			}
+			tree[extendLabel(root, id)] = 1
+		}
+		tree[root] = 1
+	}
+	for j := 1; j <= 4; j++ {
+		id := hom.Identifier(j)
+		if labelContains("4", id) {
+			continue
+		}
+		tree[extendLabel("4", id)] = 0
+	}
+	tree["4"] = 0
+	if got := e.resolve(tree, ""); got != 1 {
+		t.Fatalf("resolve(root) = %d, want 1", got)
+	}
+}
+
+func TestEIGResolveDefaultOnTie(t *testing.T) {
+	e, err := NewEIG(4, 1, []hom.Value{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two subtrees at 0, two at 1: no strict majority, default (0) wins.
+	tree := map[string]hom.Value{}
+	for i, root := range []string{"1", "2", "3", "4"} {
+		v := hom.Value(i % 2)
+		for j := 1; j <= 4; j++ {
+			id := hom.Identifier(j)
+			if labelContains(root, id) {
+				continue
+			}
+			tree[extendLabel(root, id)] = v
+		}
+	}
+	if got := e.resolve(tree, ""); got != 0 {
+		t.Fatalf("resolve on tie = %d, want default 0", got)
+	}
+}
+
+func TestEIGResolveMissingLeavesDefault(t *testing.T) {
+	e, err := NewEIG(4, 1, []hom.Value{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty tree: everything defaults.
+	if got := e.resolve(map[string]hom.Value{}, ""); got != 0 {
+		t.Fatalf("resolve of empty tree = %d, want 0", got)
+	}
+}
+
+func TestEIGClampValue(t *testing.T) {
+	e, err := NewEIG(4, 1, []hom.Value{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.clampValue(5); got != 5 {
+		t.Fatalf("clampValue(5) = %d", got)
+	}
+	if got := e.clampValue(9); got != 2 {
+		t.Fatalf("clampValue(9) = %d, want default 2", got)
+	}
+}
+
+func TestPhaseOf(t *testing.T) {
+	tests := []struct {
+		round, phase int
+		king         bool
+	}{
+		{1, 1, false}, {2, 1, true}, {3, 2, false}, {4, 2, true},
+	}
+	for _, tc := range tests {
+		phase, king := phaseOf(tc.round)
+		if phase != tc.phase || king != tc.king {
+			t.Fatalf("phaseOf(%d) = (%d,%v), want (%d,%v)", tc.round, phase, king, tc.phase, tc.king)
+		}
+	}
+}
+
+func TestPhaseKingTransitionIgnoresWrongPhase(t *testing.T) {
+	pk, err := NewPhaseKing(5, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := pk.Init(2, 1)
+	// A stale phase-king message from a past phase must not affect the
+	// king-round transition of phase 1.
+	s = pk.Transition(s, 1, []msg.Message{
+		{ID: 1, Body: PKPref{Phase: 1, Val: 1}},
+		{ID: 2, Body: PKPref{Phase: 1, Val: 1}},
+		{ID: 3, Body: PKPref{Phase: 1, Val: 1}},
+		{ID: 4, Body: PKPref{Phase: 1, Val: 1}},
+		{ID: 5, Body: PKPref{Phase: 1, Val: 1}},
+	})
+	s2 := pk.Transition(s, 2, []msg.Message{
+		{ID: 1, Body: PKKing{Phase: 7, Val: 0}}, // wrong phase: ignore
+	})
+	st, ok := s2.(*pkState)
+	if !ok {
+		t.Fatal("unexpected state type")
+	}
+	// mult = 5 > l/2 + t = 3.5, so pref keeps the majority value 1
+	// regardless of the bogus king message.
+	if st.pref != 1 {
+		t.Fatalf("pref = %d, want 1", st.pref)
+	}
+}
+
+func TestPhaseKingIgnoresNonKingSender(t *testing.T) {
+	pk, err := NewPhaseKing(5, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := pk.Init(2, 0)
+	// No exchange-round majority (mult = 0 < threshold), so the king
+	// round adopts the king's value — but only from the true king
+	// identifier (phase 1 => identifier 1).
+	s2 := pk.Transition(s, 2, []msg.Message{
+		{ID: 3, Body: PKKing{Phase: 1, Val: 1}}, // impostor king
+	})
+	if st := s2.(*pkState); st.pref != 0 {
+		t.Fatalf("pref = %d, want default 0 (impostor ignored)", st.pref)
+	}
+	s3 := pk.Transition(s, 2, []msg.Message{
+		{ID: 1, Body: PKKing{Phase: 1, Val: 1}},
+	})
+	if st := s3.(*pkState); st.pref != 1 {
+		t.Fatalf("pref = %d, want king's 1", st.pref)
+	}
+}
+
+func TestStateImmutabilityUnderTransition(t *testing.T) {
+	// Property: Transition never mutates its input state (states are
+	// shared via selection rounds, so aliasing bugs would be corruption).
+	e, err := NewEIG(4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(val uint8) bool {
+		s1 := e.Init(1, hom.Value(val%2))
+		before := s1.Key()
+		payload := NewEIGPayload(0, []EIGEntry{{Label: "", Val: hom.Value(val % 2)}})
+		_ = e.Transition(s1, 1, []msg.Message{{ID: 2, Body: payload}})
+		return s1.Key() == before
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterEquivocators(t *testing.T) {
+	in := msg.NewInbox(false, []msg.Message{
+		{ID: 1, Body: msg.Raw("a")},
+		{ID: 2, Body: msg.Raw("a")},
+		{ID: 2, Body: msg.Raw("b")}, // identifier 2 equivocates
+		{ID: 3, Body: msg.Raw("c")},
+	})
+	out := FilterEquivocators(in)
+	if len(out) != 2 {
+		t.Fatalf("FilterEquivocators kept %d messages, want 2", len(out))
+	}
+	for _, m := range out {
+		if m.ID == 2 {
+			t.Fatal("equivocating identifier survived the filter")
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package core is the public façade of the library: it selects the right
+// agreement algorithm for a model instance according to the paper's
+// Table 1, assembles executions, and reports verdicts. Downstream users
+// interact with this package (plus hom for the model types); the
+// algorithm packages stay usable directly for fine-grained control.
+//
+// Selection rules (Table 1):
+//
+//   - restricted Byzantine processes + numerate correct processes:
+//     Figure-7 algorithm (psyncnum) whenever ℓ > t, in either timing
+//     model;
+//   - synchronous, otherwise: the Figure-3 transformation over EIG
+//     (synchom ∘ classical.EIG) whenever ℓ > 3t;
+//   - partially synchronous, otherwise: the Figure-5 algorithm (psynchom)
+//     whenever 2ℓ > n+3t.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"homonyms/internal/classical"
+	"homonyms/internal/hom"
+	"homonyms/internal/psynchom"
+	"homonyms/internal/psyncnum"
+	"homonyms/internal/sim"
+	"homonyms/internal/synchom"
+	"homonyms/internal/trace"
+)
+
+// AlgorithmID names the algorithm selected for a model instance.
+type AlgorithmID string
+
+// The algorithms the façade can select.
+const (
+	AlgSyncTransformEIG AlgorithmID = "sync-transform-eig"  // Figure 3 over EIG
+	AlgPsyncHomonym     AlgorithmID = "psync-homonym"       // Figure 5
+	AlgNumerate         AlgorithmID = "numerate-restricted" // Figure 7
+)
+
+// Errors returned by the façade.
+var (
+	// ErrUnsolvable reports parameters outside Table 1's solvable region;
+	// errors.Is(err, hom.ErrUnsolvable) also matches.
+	ErrUnsolvable = hom.ErrUnsolvable
+)
+
+// Selection is the result of algorithm selection: a process factory plus
+// metadata for budgeting an execution.
+type Selection struct {
+	Algorithm AlgorithmID
+	// NewProcess builds one process per slot.
+	NewProcess func(slot int) sim.Process
+	// SuggestedRounds returns a round budget sufficient for decision
+	// when message drops stop at the given GST round.
+	SuggestedRounds func(gst int) int
+}
+
+// Select picks the agreement algorithm for the parameters, or fails with
+// ErrUnsolvable (wrapping the Table-1 reason) when none exists.
+func Select(p hom.Params) (*Selection, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.Solvable() {
+		return nil, fmt.Errorf("%w: %s", ErrUnsolvable, p.SolvabilityReason())
+	}
+	switch {
+	case p.RestrictedByzantine && p.Numerate:
+		factory, err := psyncnum.New(p)
+		if err != nil {
+			return nil, err
+		}
+		return &Selection{
+			Algorithm:  AlgNumerate,
+			NewProcess: factory,
+			SuggestedRounds: func(gst int) int {
+				return psyncnum.SuggestedMaxRounds(p, gst)
+			},
+		}, nil
+	case p.Synchrony == hom.Synchronous:
+		alg, err := classical.NewEIG(p.L, p.T, p.EffectiveDomain())
+		if err != nil {
+			return nil, err
+		}
+		factory, err := synchom.New(alg, p)
+		if err != nil {
+			return nil, err
+		}
+		return &Selection{
+			Algorithm:  AlgSyncTransformEIG,
+			NewProcess: factory,
+			SuggestedRounds: func(int) int {
+				return synchom.Rounds(alg) + synchom.RoundsPerPhase
+			},
+		}, nil
+	default:
+		psyncParams := p
+		factory, err := psynchom.New(psyncParams, psynchom.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &Selection{
+			Algorithm:  AlgPsyncHomonym,
+			NewProcess: factory,
+			SuggestedRounds: func(gst int) int {
+				return psynchom.SuggestedMaxRounds(p, gst)
+			},
+		}, nil
+	}
+}
+
+// Config assembles one agreement execution through the façade.
+type Config struct {
+	// Params fixes the model instance. Required.
+	Params hom.Params
+	// Assignment maps slots to identifiers; nil selects a round-robin
+	// assignment.
+	Assignment hom.Assignment
+	// Inputs holds one proposal per slot. Required.
+	Inputs []hom.Value
+	// Adversary plays the Byzantine processes and the pre-GST message
+	// drops; nil means a fault-free, loss-free run.
+	Adversary sim.Adversary
+	// GST is the first round with guaranteed delivery (partially
+	// synchronous model); values below 1 are treated as 1.
+	GST int
+	// MaxRounds caps the execution; 0 selects the algorithm's suggested
+	// budget for the configured GST.
+	MaxRounds int
+}
+
+// Result reports one façade execution.
+type Result struct {
+	// Algorithm that ran.
+	Algorithm AlgorithmID
+	// Sim is the raw execution result.
+	Sim *sim.Result
+	// Verdict holds the validity/agreement/termination checks.
+	Verdict trace.Verdict
+	// Decision is the common decided value when one exists.
+	Decision hom.Value
+	// Decided reports whether at least one correct process decided and
+	// all deciders agreed.
+	Decided bool
+}
+
+// Run selects the algorithm for cfg.Params and executes one instance.
+func Run(cfg Config) (*Result, error) {
+	sel, err := Select(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	gst := cfg.GST
+	if gst < 1 {
+		gst = 1
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = sel.SuggestedRounds(gst)
+	}
+	assignment := cfg.Assignment
+	if assignment == nil {
+		assignment = hom.RoundRobinAssignment(cfg.Params.N, cfg.Params.L)
+	}
+	res, err := sim.Run(sim.Config{
+		Params:     cfg.Params,
+		Assignment: assignment,
+		Inputs:     cfg.Inputs,
+		NewProcess: sel.NewProcess,
+		Adversary:  cfg.Adversary,
+		GST:        gst,
+		MaxRounds:  maxRounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Algorithm: sel.Algorithm,
+		Sim:       res,
+		Verdict:   trace.Check(res),
+	}
+	out.Decision, out.Decided = trace.DecidedValue(res)
+	return out, nil
+}
+
+// Solvable re-exports the Table-1 characterisation for convenience.
+func Solvable(p hom.Params) bool { return p.Solvable() }
+
+// SolvabilityReason re-exports the Table-1 explanation.
+func SolvabilityReason(p hom.Params) string { return p.SolvabilityReason() }
+
+// ErrNoInputs is returned by RunUnanimous helpers on empty input sets.
+var ErrNoInputs = errors.New("core: need at least one input value")
+
+// RunUnanimous is a convenience wrapper running all processes with the
+// same input.
+func RunUnanimous(p hom.Params, input hom.Value, adv sim.Adversary, gst int) (*Result, error) {
+	inputs := make([]hom.Value, p.N)
+	for i := range inputs {
+		inputs[i] = input
+	}
+	return Run(Config{Params: p, Inputs: inputs, Adversary: adv, GST: gst})
+}

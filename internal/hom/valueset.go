@@ -1,0 +1,90 @@
+package hom
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValueSet is a set of values with deterministic (sorted) iteration order.
+// The zero value is the empty set, but most callers should use NewValueSet
+// so the map is allocated.
+type ValueSet struct {
+	members map[Value]bool
+}
+
+// NewValueSet returns a set containing the given values.
+func NewValueSet(vs ...Value) ValueSet {
+	s := ValueSet{members: make(map[Value]bool, len(vs))}
+	for _, v := range vs {
+		s.members[v] = true
+	}
+	return s
+}
+
+// Add inserts v, allocating lazily so the zero ValueSet is usable.
+func (s *ValueSet) Add(v Value) {
+	if s.members == nil {
+		s.members = make(map[Value]bool, 2)
+	}
+	s.members[v] = true
+}
+
+// AddAll inserts every value in vs.
+func (s *ValueSet) AddAll(vs []Value) {
+	for _, v := range vs {
+		s.Add(v)
+	}
+}
+
+// Contains reports membership.
+func (s ValueSet) Contains(v Value) bool { return s.members[v] }
+
+// Len returns the number of members.
+func (s ValueSet) Len() int { return len(s.members) }
+
+// Values returns the members sorted ascending.
+func (s ValueSet) Values() []Value {
+	out := make([]Value, 0, len(s.members))
+	for v := range s.members {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns an independent copy.
+func (s ValueSet) Clone() ValueSet {
+	out := ValueSet{members: make(map[Value]bool, len(s.members))}
+	for v := range s.members {
+		out.members[v] = true
+	}
+	return out
+}
+
+// Equal reports whether two sets hold the same members.
+func (s ValueSet) Equal(o ValueSet) bool {
+	if len(s.members) != len(o.members) {
+		return false
+	}
+	for v := range s.members {
+		if !o.members[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set in sorted order, e.g. "{0,1}".
+func (s ValueSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range s.Values() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(v)))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package msg
+
+import (
+	"strconv"
+	"strings"
+
+	"homonyms/internal/hom"
+)
+
+// KeyBuilder helps payload types produce canonical keys with a uniform
+// tag|field1|field2 layout. It is a thin wrapper over strings.Builder so
+// payload Key methods stay short and consistent.
+type KeyBuilder struct {
+	b strings.Builder
+}
+
+// NewKey starts a key with the payload's type tag, e.g. "propose".
+func NewKey(tag string) *KeyBuilder {
+	kb := &KeyBuilder{}
+	kb.b.WriteString(tag)
+	return kb
+}
+
+// Int appends an integer field.
+func (kb *KeyBuilder) Int(v int) *KeyBuilder {
+	kb.b.WriteByte('|')
+	kb.b.WriteString(strconv.Itoa(v))
+	return kb
+}
+
+// Value appends a hom.Value field (NoValue renders as "_").
+func (kb *KeyBuilder) Value(v hom.Value) *KeyBuilder {
+	kb.b.WriteByte('|')
+	if v == hom.NoValue {
+		kb.b.WriteByte('_')
+	} else {
+		kb.b.WriteString(strconv.Itoa(int(v)))
+	}
+	return kb
+}
+
+// Values appends a sorted value-set field, e.g. "{0,1}".
+func (kb *KeyBuilder) Values(vs hom.ValueSet) *KeyBuilder {
+	kb.b.WriteByte('|')
+	kb.b.WriteString(vs.String())
+	return kb
+}
+
+// Identifier appends an identifier field.
+func (kb *KeyBuilder) Identifier(id hom.Identifier) *KeyBuilder {
+	kb.b.WriteByte('|')
+	kb.b.WriteString(strconv.Itoa(int(id)))
+	return kb
+}
+
+// Str appends a raw string field. The caller must ensure the string does
+// not make two distinct payloads collide (protocol payloads here only use
+// fixed tags and numeric fields, so this is safe in practice).
+func (kb *KeyBuilder) Str(s string) *KeyBuilder {
+	kb.b.WriteByte('|')
+	kb.b.WriteString(s)
+	return kb
+}
+
+// String finalises the key.
+func (kb *KeyBuilder) String() string { return kb.b.String() }
+
+// Raw is a generic opaque payload used by tests and Byzantine strategies
+// that need to inject arbitrary bytes.
+type Raw string
+
+// Key implements Payload.
+func (r Raw) Key() string { return "raw|" + string(r) }
+
+var _ Payload = Raw("")

@@ -1,0 +1,229 @@
+// Package msg defines the message layer for the homonym model: payloads
+// with canonical keys, broadcast and targeted sends, and per-round inboxes
+// with set semantics (innumerate receivers) or multiset semantics
+// (numerate receivers).
+//
+// Authentication is enforced by the simulation engine, not by the payloads:
+// every delivered message carries the true identifier of its sender's slot,
+// which a Byzantine process cannot forge (paper §2).
+package msg
+
+import (
+	"sort"
+
+	"homonyms/internal/hom"
+)
+
+// Payload is the body of a protocol message. Implementations must be
+// immutable once sent and must provide a canonical key: two payloads are
+// "identical messages" in the paper's sense exactly when their keys are
+// equal. Keys are also the unit of deduplication for innumerate receivers
+// and of copy-counting for numerate receivers.
+type Payload interface {
+	// Key returns the canonical representation of the payload. It must be
+	// injective over the payload type's value space and stable across
+	// calls.
+	Key() string
+}
+
+// Message is a payload stamped with its sender's authenticated identifier.
+// The receiver learns nothing else about the sender: two homonyms are
+// indistinguishable.
+type Message struct {
+	ID   hom.Identifier
+	Body Payload
+}
+
+// Key returns the canonical key of the (identifier, payload) pair.
+func (m Message) Key() string {
+	return "id=" + itoa(int(m.ID)) + "|" + m.Body.Key()
+}
+
+// TargetKind selects the destination set of a correct process's send.
+type TargetKind int
+
+const (
+	// ToAll delivers to every process (including the sender itself;
+	// self-delivery is reliable).
+	ToAll TargetKind = iota + 1
+	// ToIdentifier delivers to every process holding a given identifier.
+	// The paper's model allows directing a message "to all processes that
+	// have a particular identifier" but never to an individual process.
+	ToIdentifier
+)
+
+// Send is an outgoing message from a correct process. Correct processes
+// cannot address individual processes, only everyone or an identifier
+// group.
+type Send struct {
+	Kind TargetKind
+	// To is the destination identifier when Kind == ToIdentifier.
+	To   hom.Identifier
+	Body Payload
+}
+
+// Broadcast builds a ToAll send.
+func Broadcast(body Payload) Send { return Send{Kind: ToAll, Body: body} }
+
+// SendTo builds a ToIdentifier send.
+func SendTo(id hom.Identifier, body Payload) Send {
+	return Send{Kind: ToIdentifier, To: id, Body: body}
+}
+
+// TargetedSend is an outgoing message from a Byzantine process, which —
+// unlike a correct process — may tailor messages per recipient slot and
+// (unless restricted) may send several messages to the same recipient in
+// one round.
+type TargetedSend struct {
+	// ToSlot is the recipient's engine slot (Byzantine processes are
+	// omniscient and may use internal process names; correct processes
+	// never see slots).
+	ToSlot int
+	Body   Payload
+}
+
+// Delivered records one delivered message for tracing and adversary
+// observation.
+type Delivered struct {
+	Round    int
+	FromSlot int
+	ToSlot   int
+	Msg      Message
+}
+
+// Inbox is the collection of messages a process receives in one round.
+// For an innumerate receiver it behaves as a set: duplicate
+// (identifier, payload) pairs collapse and Count always returns 1.
+// For a numerate receiver it behaves as a multiset and Count returns the
+// number of copies received.
+type Inbox struct {
+	numerate bool
+	order    []Message      // distinct messages in deterministic order
+	counts   map[string]int // message key -> multiplicity (numerate only)
+}
+
+// NewInbox builds an inbox with the requested reception semantics from the
+// raw delivered messages. The raw order does not matter: the inbox sorts
+// distinct messages by (identifier, payload key) for determinism.
+func NewInbox(numerate bool, raw []Message) *Inbox {
+	in := &Inbox{numerate: numerate, counts: make(map[string]int, len(raw))}
+	index := make(map[string]int, len(raw))
+	for _, m := range raw {
+		k := m.Key()
+		if _, ok := index[k]; !ok {
+			index[k] = len(in.order)
+			in.order = append(in.order, m)
+		}
+		in.counts[k]++
+	}
+	if !numerate {
+		for k := range in.counts {
+			in.counts[k] = 1
+		}
+	}
+	sort.Slice(in.order, func(i, j int) bool {
+		if in.order[i].ID != in.order[j].ID {
+			return in.order[i].ID < in.order[j].ID
+		}
+		return in.order[i].Body.Key() < in.order[j].Body.Key()
+	})
+	return in
+}
+
+// Numerate reports the reception semantics of the inbox.
+func (in *Inbox) Numerate() bool { return in.numerate }
+
+// Messages returns the distinct messages received this round, sorted by
+// (identifier, payload key). Callers must not mutate the slice.
+func (in *Inbox) Messages() []Message { return in.order }
+
+// Count returns the multiplicity of the given message. Innumerate inboxes
+// report at most 1. A message never received reports 0.
+func (in *Inbox) Count(m Message) int { return in.counts[m.Key()] }
+
+// TotalCount returns the total number of message copies received
+// (distinct messages for an innumerate inbox).
+func (in *Inbox) TotalCount() int {
+	total := 0
+	for _, c := range in.counts {
+		total += c
+	}
+	return total
+}
+
+// Len returns the number of distinct messages.
+func (in *Inbox) Len() int { return len(in.order) }
+
+// FromIdentifier returns the distinct messages carrying the given sender
+// identifier, in deterministic order.
+func (in *Inbox) FromIdentifier(id hom.Identifier) []Message {
+	var out []Message
+	for _, m := range in.order {
+		if m.ID == id {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// DistinctIdentifiers returns the sorted identifiers from which the
+// receiver got at least one message satisfying pred. A nil pred matches
+// every message.
+func (in *Inbox) DistinctIdentifiers(pred func(Message) bool) []hom.Identifier {
+	seen := make(map[hom.Identifier]bool)
+	for _, m := range in.order {
+		if pred == nil || pred(m) {
+			seen[m.ID] = true
+		}
+	}
+	out := make([]hom.Identifier, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CountDistinctIdentifiers returns the number of distinct identifiers with
+// at least one message satisfying pred.
+func (in *Inbox) CountDistinctIdentifiers(pred func(Message) bool) int {
+	return len(in.DistinctIdentifiers(pred))
+}
+
+// CountCopies returns the total number of copies, over all sender
+// identifiers, of messages satisfying pred. On an innumerate inbox this
+// degenerates to the number of distinct matching messages.
+func (in *Inbox) CountCopies(pred func(Message) bool) int {
+	total := 0
+	for _, m := range in.order {
+		if pred == nil || pred(m) {
+			total += in.counts[m.Key()]
+		}
+	}
+	return total
+}
+
+// itoa is a minimal allocation-conscious int-to-string helper used in hot
+// key-building paths (strconv would also do; kept local to avoid importing
+// strconv into every payload key builder that uses msg helpers).
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,353 @@
+// Package numbcast implements the paper's Figure-6 authenticated broadcast
+// with multiplicities, for numerate processes against restricted Byzantine
+// processes (Appendix A.3.1). Where package authbcast counts distinct
+// identifiers, this primitive counts message copies and carries an
+// explicit multiplicity estimate α with each Accept:
+//
+//   - Correctness: if α correct processes with identifier i perform
+//     Broadcast(i, m, r) in superround r ≥ T, every correct process
+//     performs Accept(i, α′, m, r) with α′ ≥ α during superround r.
+//   - Relay: if a correct process performs Accept(i, α, m, r) in
+//     superround r′ ≥ r, every correct process performs
+//     Accept(i, α′, m, r) with α′ ≥ α in superround max(r′, T)+1.
+//   - Unforgeability: if α correct processes with identifier i perform
+//     Broadcast(i, m, r) and some correct process performs
+//     Accept(i, α′, m, r), then 0 ≤ α′ ≤ α + f_i where f_i is the number
+//     of Byzantine processes holding identifier i.
+//   - Unicity: at most one Accept(i, ∗, m, r) per superround.
+//
+// Wire protocol: each process sends one bundle per round containing its
+// entire table a[h, m, k] as (echo, h, a[h,m,k], m, k) tuples, plus
+// (init, i, m, r) tuples in the first round of superround r for each
+// Broadcast it performs. A bundle is valid if it contains at most one init
+// tuple per (m, r) with r the current superround, and at most one echo
+// tuple per (h, m, k); invalid bundles are discarded entirely. Thresholds
+// n−2t (adopt an estimate) and n−t (accept) count received bundle copies
+// — this is where numeracy is essential.
+package numbcast
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+
+	"homonyms/internal/hom"
+	"homonyms/internal/msg"
+)
+
+// Validation errors.
+var (
+	ErrResilience = errors.New("numbcast: multiplicity broadcast requires n > 3t")
+)
+
+// Superround maps a 1-based round to its 1-based superround (rounds 2r−1
+// and 2r form superround r).
+func Superround(round int) int { return (round + 1) / 2 }
+
+// IsInitRound reports whether the round is the first round of its
+// superround.
+func IsInitRound(round int) bool { return round%2 == 1 }
+
+// InitTuple is an (init, m) element of a bundle; the sender identifier and
+// superround are implicit (stamped identifier, current round).
+type InitTuple struct {
+	Body msg.Payload
+}
+
+// EchoTuple is an (echo, h, α, m, k) element of a bundle.
+type EchoTuple struct {
+	H    hom.Identifier
+	A    int
+	Body msg.Payload
+	K    int
+}
+
+// Bundle is the single per-round message of the Figure-6 protocol.
+type Bundle struct {
+	Inits  []InitTuple
+	Echoes []EchoTuple
+	key    string
+}
+
+// NewBundle builds a bundle in canonical order with a cached key.
+func NewBundle(inits []InitTuple, echoes []EchoTuple) *Bundle {
+	is := append([]InitTuple(nil), inits...)
+	es := append([]EchoTuple(nil), echoes...)
+	sort.Slice(is, func(a, b int) bool { return is[a].Body.Key() < is[b].Body.Key() })
+	sort.Slice(es, func(a, b int) bool { return echoLess(es[a], es[b]) })
+	var b strings.Builder
+	b.WriteString("numbundle")
+	for _, it := range is {
+		b.WriteString("|i:")
+		b.WriteString(it.Body.Key())
+	}
+	for _, et := range es {
+		b.WriteString("|e:")
+		b.WriteString(strconv.Itoa(int(et.H)))
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(et.A))
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(et.K))
+		b.WriteByte(',')
+		b.WriteString(et.Body.Key())
+	}
+	return &Bundle{Inits: is, Echoes: es, key: b.String()}
+}
+
+func echoLess(a, b EchoTuple) bool {
+	if a.H != b.H {
+		return a.H < b.H
+	}
+	if a.K != b.K {
+		return a.K < b.K
+	}
+	if a.Body.Key() != b.Body.Key() {
+		return a.Body.Key() < b.Body.Key()
+	}
+	return a.A < b.A
+}
+
+// Key implements msg.Payload.
+func (b *Bundle) Key() string { return b.key }
+
+// Accept records one Accept(i, α, m, r) action.
+type Accept struct {
+	ID    hom.Identifier
+	Alpha int
+	Body  msg.Payload
+	SR    int
+}
+
+// entry is one a[h, m, k] table cell.
+type entry struct {
+	h     hom.Identifier
+	body  msg.Payload
+	k     int
+	alpha int
+}
+
+// Broadcaster is the per-process Figure-6 component. Construct with New.
+type Broadcaster struct {
+	n, t    int
+	l       int
+	pending []msg.Payload
+	table   map[string]*entry // cell key -> cell
+	order   []string
+}
+
+// New returns a broadcaster for n processes with l identifiers and at most
+// t restricted Byzantine processes.
+func New(n, l, t int) (*Broadcaster, error) {
+	if n <= 3*t {
+		return nil, ErrResilience
+	}
+	return &Broadcaster{n: n, t: t, l: l, table: make(map[string]*entry)}, nil
+}
+
+// Broadcast queues m for initiation at the next init round under the
+// host's identifier.
+func (b *Broadcaster) Broadcast(m msg.Payload) {
+	b.pending = append(b.pending, m)
+}
+
+// Outgoing returns the single bundle to broadcast this round, or nil when
+// there is nothing to send (empty table and no pending init).
+func (b *Broadcaster) Outgoing(round int) msg.Payload {
+	var inits []InitTuple
+	if IsInitRound(round) {
+		for _, m := range b.pending {
+			inits = append(inits, InitTuple{Body: m})
+		}
+		b.pending = nil
+	}
+	var echoes []EchoTuple
+	for _, k := range b.order {
+		cell := b.table[k]
+		if cell.alpha > 0 {
+			echoes = append(echoes, EchoTuple{H: cell.h, A: cell.alpha, Body: cell.body, K: cell.k})
+		}
+	}
+	if len(inits) == 0 && len(echoes) == 0 {
+		return nil
+	}
+	return NewBundle(inits, echoes)
+}
+
+// validBundle applies the paper's validity rules for a message received at
+// the given round: at most one init tuple per (m) (with the init bound to
+// the current superround), and at most one echo tuple per (h, m, k) with
+// k at most the current superround.
+func validBundle(bundle *Bundle, round int) bool {
+	sr := Superround(round)
+	seenInit := make(map[string]bool, len(bundle.Inits))
+	for _, it := range bundle.Inits {
+		if it.Body == nil {
+			return false
+		}
+		k := it.Body.Key()
+		if seenInit[k] {
+			return false
+		}
+		seenInit[k] = true
+	}
+	if len(bundle.Inits) > 0 && !IsInitRound(round) {
+		return false
+	}
+	seenEcho := make(map[string]bool, len(bundle.Echoes))
+	for _, et := range bundle.Echoes {
+		if et.Body == nil || et.A < 0 || et.K < 1 || et.K > sr || !et.H.IsValid(maxIdentifiers) {
+			return false
+		}
+		k := strconv.Itoa(int(et.H)) + "/" + strconv.Itoa(et.K) + "/" + et.Body.Key()
+		if seenEcho[k] {
+			return false
+		}
+		seenEcho[k] = true
+	}
+	return true
+}
+
+// maxIdentifiers bounds identifier validation inside bundles; actual
+// protocol identifiers are validated against l by the host, this guard
+// only rejects nonsense.
+const maxIdentifiers = 1 << 20
+
+// cellKey builds the canonical a[h, m, k] cell key.
+func cellKey(h hom.Identifier, body msg.Payload, k int) string {
+	return strconv.Itoa(int(h)) + "/" + strconv.Itoa(k) + "/" + body.Key()
+}
+
+func (b *Broadcaster) cell(h hom.Identifier, body msg.Payload, k int) *entry {
+	key := cellKey(h, body, k)
+	if c, ok := b.table[key]; ok {
+		return c
+	}
+	c := &entry{h: h, body: body, k: k}
+	b.table[key] = c
+	b.order = append(b.order, key)
+	return c
+}
+
+// Ingest processes the round's inbox. Accepts are only performed in the
+// second round of each superround (unicity); the returned slice is in
+// deterministic order.
+func (b *Broadcaster) Ingest(round int, in *msg.Inbox) []Accept {
+	sr := Superround(round)
+
+	// Gather valid bundles with their copy counts.
+	type recv struct {
+		id     hom.Identifier
+		bundle *Bundle
+		copies int
+	}
+	var bundles []recv
+	for _, m := range in.Messages() {
+		bundle, ok := m.Body.(*Bundle)
+		if !ok || !validBundle(bundle, round) {
+			continue
+		}
+		bundles = append(bundles, recv{id: m.ID, bundle: bundle, copies: in.Count(m)})
+	}
+
+	// Lines 13–14: init counting (first round of a superround). α is the
+	// total number of valid message copies from identifier h containing
+	// (init, h, m, sr).
+	if IsInitRound(round) {
+		initCounts := make(map[string]int)
+		initMeta := make(map[string]struct {
+			h    hom.Identifier
+			body msg.Payload
+		})
+		for _, r := range bundles {
+			for _, it := range r.bundle.Inits {
+				key := cellKey(r.id, it.Body, sr)
+				initCounts[key] += r.copies
+				initMeta[key] = struct {
+					h    hom.Identifier
+					body msg.Payload
+				}{r.id, it.Body}
+			}
+		}
+		keys := make([]string, 0, len(initCounts))
+		for k := range initCounts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			meta := initMeta[k]
+			c := b.cell(meta.h, meta.body, sr)
+			if initCounts[k] > 0 {
+				c.alpha = initCounts[k]
+			}
+		}
+	}
+
+	// Lines 15–18: adopt echo estimates supported by n−2t message copies.
+	// For each (h, m, k), α1 = max{α : at least n−2t copies carried
+	// (echo, h, α′, m, k) with α′ ≥ α}.
+	echoSupport := make(map[string][]struct{ alpha, copies int })
+	echoMeta := make(map[string]struct {
+		h    hom.Identifier
+		body msg.Payload
+		k    int
+	})
+	for _, r := range bundles {
+		for _, et := range r.bundle.Echoes {
+			key := cellKey(et.H, et.Body, et.K)
+			echoSupport[key] = append(echoSupport[key], struct{ alpha, copies int }{et.A, r.copies})
+			echoMeta[key] = struct {
+				h    hom.Identifier
+				body msg.Payload
+				k    int
+			}{et.H, et.Body, et.K}
+		}
+	}
+	echoKeys := make([]string, 0, len(echoSupport))
+	for k := range echoSupport {
+		echoKeys = append(echoKeys, k)
+	}
+	sort.Strings(echoKeys)
+
+	var accepts []Accept
+	for _, key := range echoKeys {
+		support := echoSupport[key]
+		meta := echoMeta[key]
+		if alpha1, ok := thresholdAlpha(support, b.n-2*b.t); ok {
+			c := b.cell(meta.h, meta.body, meta.k)
+			if alpha1 > c.alpha {
+				c.alpha = alpha1
+			}
+		}
+		// Lines 19–21: accept on n−t copies, in the second round of the
+		// superround only.
+		if !IsInitRound(round) {
+			if alpha2, ok := thresholdAlpha(support, b.n-b.t); ok {
+				accepts = append(accepts, Accept{ID: meta.h, Alpha: alpha2, Body: meta.body, SR: meta.k})
+			}
+		}
+	}
+	return accepts
+}
+
+// thresholdAlpha returns the largest α such that message copies carrying
+// α′ ≥ α number at least need; ok is false when even α = 0 lacks support.
+func thresholdAlpha(support []struct{ alpha, copies int }, need int) (int, bool) {
+	if need <= 0 {
+		need = 1
+	}
+	sorted := append([]struct{ alpha, copies int }(nil), support...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].alpha > sorted[j].alpha })
+	run := 0
+	for _, s := range sorted {
+		run += s.copies
+		if run >= need {
+			return s.alpha, true
+		}
+	}
+	return 0, false
+}
+
+// TableSize reports the number of tracked cells (tests and memory
+// accounting).
+func (b *Broadcaster) TableSize() int { return len(b.table) }

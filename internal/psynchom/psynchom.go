@@ -1,0 +1,510 @@
+// Package psynchom implements the paper's Figure-5 algorithm: Byzantine
+// agreement in the basic partially synchronous model for n processes with
+// ℓ identifiers, tolerating t Byzantine faults whenever ℓ > (n+3t)/2
+// (Proposition 5, Theorem 13). It works for innumerate processes: every
+// threshold counts distinct identifiers.
+//
+// The algorithm follows Dwork–Lynch–Stockmeyer with three homonym-specific
+// changes, each of which is independently switchable for the ablation
+// experiments:
+//
+//  1. Quorums are sets of ℓ−t distinct identifiers. Because
+//     2ℓ > n+3t, any two such quorums share an identifier held by exactly
+//     one correct process and no Byzantine process (Lemma 7).
+//  2. A vote superround sits between the leader's lock request and the
+//     lock/ack step. With homonyms a phase can have several leaders
+//     (every holder of the leader identifier), and without the vote round
+//     two leaders could drive disjoint halves to lock — and decide —
+//     different values. Options.DisableVote removes it (ablation A1).
+//  3. Deciders relay ⟨decide v⟩ messages; a process that receives t+1 of
+//     them decides too. This is what lets a correct process that shares
+//     its identifier with a Byzantine process terminate.
+//     Options.DisableDecideRelay removes it (ablation A2).
+//
+// Phase structure (phase ph = 0, 1, 2, ... of 4 superrounds = 8 rounds;
+// the leader identifier of phase ph is (ph mod ℓ)+1):
+//
+//	SR1  Broadcast ⟨propose V, ph⟩ where V is the proper values not
+//	     excluded by a lock on another value.
+//	SR2  Each leader that accepted ⟨propose Vj, ph⟩ from ℓ−t identifiers
+//	     with some common v sends ⟨lock v, ph⟩ to all.
+//	SR3  A process that received ⟨lock v, ph⟩ from the leader identifier
+//	     and has the same ℓ−t propose support Broadcasts ⟨vote v, ph⟩.
+//	SR4  A process that accepted ⟨vote v, ph⟩ from ℓ−t identifiers locks
+//	     (v, ph) and sends ⟨ack v, ph⟩; a leader that receives ℓ−t acks
+//	     for its value decides it. Deciders then send ⟨decide v⟩; t+1
+//	     decide messages let anyone decide. Finally locks superseded by
+//	     accepted votes for another value in a later phase are released.
+//
+// Proper values: every process attaches its proper set to every round's
+// traffic; a value reported by t+1 identifiers becomes proper, and a
+// process that hears 2t+1 identifiers with no t+1-supported value makes
+// every domain value proper (the correct processes provably have at least
+// two distinct inputs then).
+package psynchom
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"homonyms/internal/authbcast"
+	"homonyms/internal/hom"
+	"homonyms/internal/msg"
+	"homonyms/internal/sim"
+)
+
+// Validation errors.
+var (
+	ErrCondition = errors.New("psynchom: figure-5 algorithm requires 2l > n+3t")
+	ErrSynchrony = errors.New("psynchom: figure-5 algorithm targets the partially synchronous model")
+)
+
+// Layout constants of the phase structure.
+const (
+	RoundsPerSuperround = 2
+	SuperroundsPerPhase = 4
+	RoundsPerPhase      = RoundsPerSuperround * SuperroundsPerPhase
+)
+
+// Options toggle the homonym-specific mechanisms for ablation experiments.
+// The zero value is the full Figure-5 algorithm.
+type Options struct {
+	// DisableVote removes the vote superround: processes lock directly on
+	// a leader's lock request (the original DLS rule). Unsafe with
+	// homonym leaders — ablation A1.
+	DisableVote bool
+	// DisableDecideRelay removes the ⟨decide⟩ relay: only quorum-observing
+	// leaders decide. Breaks termination for correct processes sharing an
+	// identifier with a Byzantine process — ablation A2.
+	DisableDecideRelay bool
+}
+
+// LeaderID returns the leader identifier of a phase: (ph mod ℓ) + 1.
+func LeaderID(phase, l int) hom.Identifier { return hom.Identifier(phase%l + 1) }
+
+// SuggestedMaxRounds returns a round budget that lets the algorithm
+// stabilise and decide: the GST prefix, then enough phases for every
+// identifier to lead twice after stabilisation, plus slack.
+func SuggestedMaxRounds(p hom.Params, gst int) int {
+	return gst + RoundsPerPhase*(2*p.L+4)
+}
+
+// New returns a factory of Figure-5 processes after validating the
+// solvability condition 2ℓ > n + 3t.
+func New(p hom.Params, opts Options) (func(slot int) sim.Process, error) {
+	if p.Synchrony != hom.PartiallySynchronous {
+		return nil, ErrSynchrony
+	}
+	if 2*p.L <= p.N+3*p.T {
+		return nil, fmt.Errorf("%w (2l=%d, n+3t=%d)", ErrCondition, 2*p.L, p.N+3*p.T)
+	}
+	return NewUnchecked(p, opts), nil
+}
+
+// NewUnchecked returns a Figure-5 process factory without the
+// 2ℓ > n + 3t solvability check (the broadcast layer still requires
+// ℓ > 3t). It exists solely for the impossibility experiments, which run
+// the algorithm in the region where the paper's Figure-4 partition attack
+// (package attacks) defeats it. Never use it in real systems.
+func NewUnchecked(p hom.Params, opts Options) func(slot int) sim.Process {
+	return func(int) sim.Process {
+		return &Process{opts: opts}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Payloads
+// ---------------------------------------------------------------------------
+
+// ProposePayload is the body of the SR1 authenticated broadcast.
+type ProposePayload struct {
+	Phase int
+	V     hom.ValueSet
+}
+
+// Key implements msg.Payload.
+func (p ProposePayload) Key() string {
+	return msg.NewKey("propose").Int(p.Phase).Values(p.V).String()
+}
+
+// VotePayload is the body of the SR3 authenticated broadcast.
+type VotePayload struct {
+	Phase int
+	Val   hom.Value
+}
+
+// Key implements msg.Payload.
+func (p VotePayload) Key() string { return msg.NewKey("vote").Int(p.Phase).Value(p.Val).String() }
+
+// LockPayload is the leader's direct ⟨lock v, ph⟩ message.
+type LockPayload struct {
+	Phase int
+	Val   hom.Value
+}
+
+// Key implements msg.Payload.
+func (p LockPayload) Key() string { return msg.NewKey("lock").Int(p.Phase).Value(p.Val).String() }
+
+// AckPayload is the direct ⟨ack v, ph⟩ message.
+type AckPayload struct {
+	Phase int
+	Val   hom.Value
+}
+
+// Key implements msg.Payload.
+func (p AckPayload) Key() string { return msg.NewKey("ack").Int(p.Phase).Value(p.Val).String() }
+
+// DecidePayload is the direct ⟨decide v⟩ relay message.
+type DecidePayload struct {
+	Val hom.Value
+}
+
+// Key implements msg.Payload.
+func (p DecidePayload) Key() string { return msg.NewKey("decide").Value(p.Val).String() }
+
+// ProperPayload carries the sender's proper set, attached to every round.
+type ProperPayload struct {
+	V hom.ValueSet
+}
+
+// Key implements msg.Payload.
+func (p ProperPayload) Key() string { return msg.NewKey("proper").Values(p.V).String() }
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
+
+// Process is the Figure-5 state machine for one process. It implements
+// sim.Process.
+type Process struct {
+	opts   Options
+	params hom.Params
+	id     hom.Identifier
+	bc     *authbcast.Broadcaster
+
+	proper   hom.ValueSet
+	locks    map[hom.Value]int // value -> phase of the latest lock on it
+	decision hom.Value
+
+	// Cumulative accept bookkeeping.
+	proposeAcc map[int]map[hom.Identifier]hom.ValueSet       // phase -> id -> union of accepted V
+	voteAcc    map[int]map[hom.Value]map[hom.Identifier]bool // phase -> val -> supporting ids
+
+	// Per-phase transient state.
+	lockSeen      map[hom.Value]bool // lock values received from the leader identifier this phase
+	leaderLockVal hom.Value          // the value this process sent in its own lock message (if leader)
+}
+
+var _ sim.Process = (*Process)(nil)
+
+// Init implements sim.Process.
+func (pr *Process) Init(ctx sim.Context) {
+	pr.params = ctx.Params
+	pr.id = ctx.ID
+	// New's validation guarantees l > 3t here (2l > n+3t and n >= l).
+	bc, err := authbcast.New(ctx.Params.L, ctx.Params.T)
+	if err != nil {
+		// Unreachable after New's validation; fail loudly in tests.
+		panic("psynchom: " + err.Error())
+	}
+	pr.bc = bc
+	pr.proper = hom.NewValueSet(ctx.Input)
+	pr.locks = make(map[hom.Value]int)
+	pr.decision = hom.NoValue
+	pr.proposeAcc = make(map[int]map[hom.Identifier]hom.ValueSet)
+	pr.voteAcc = make(map[int]map[hom.Value]map[hom.Identifier]bool)
+	pr.resetPhase()
+}
+
+func (pr *Process) resetPhase() {
+	pr.lockSeen = make(map[hom.Value]bool)
+	pr.leaderLockVal = hom.NoValue
+}
+
+// phasePos decomposes a 1-based global round into the 0-based phase and
+// the 1-based position within the phase (1..8).
+func phasePos(round int) (phase, pos int) {
+	return (round - 1) / RoundsPerPhase, (round-1)%RoundsPerPhase + 1
+}
+
+func (pr *Process) isLeader(phase int) bool {
+	return pr.id == LeaderID(phase, pr.params.L)
+}
+
+// Prepare implements sim.Process.
+func (pr *Process) Prepare(round int) []msg.Send {
+	phase, pos := phasePos(round)
+	if pos == 1 {
+		pr.resetPhase()
+	}
+	var sends []msg.Send
+	switch pos {
+	case 1: // SR1 round 1: propose.
+		pr.bc.Broadcast(ProposePayload{Phase: phase, V: pr.proposableValues()})
+	case 3: // SR2 round 1: leaders request a lock.
+		if pr.isLeader(phase) {
+			if v, ok := pr.pickLockValue(phase); ok {
+				pr.leaderLockVal = v
+				sends = append(sends, msg.Broadcast(LockPayload{Phase: phase, Val: v}))
+			}
+		}
+	case 5: // SR3 round 1: vote for a supported lock request.
+		if !pr.opts.DisableVote {
+			if v, ok := pr.pickVoteValue(phase); ok {
+				pr.bc.Broadcast(VotePayload{Phase: phase, Val: v})
+			}
+		}
+	case 7: // SR4 round 1: lock and acknowledge.
+		if v, ok := pr.pickAckValue(phase); ok {
+			pr.locks[v] = phase
+			sends = append(sends, msg.Broadcast(AckPayload{Phase: phase, Val: v}))
+		}
+	case 8: // SR4 round 2: relay decisions.
+		if !pr.opts.DisableDecideRelay && pr.decision != hom.NoValue {
+			sends = append(sends, msg.Broadcast(DecidePayload{Val: pr.decision}))
+		}
+	}
+	// Broadcast-layer traffic (init/echo) and the proper set ride along
+	// every round.
+	for _, body := range pr.bc.Outgoing(round) {
+		sends = append(sends, msg.Broadcast(body))
+	}
+	sends = append(sends, msg.Broadcast(ProperPayload{V: pr.proper.Clone()}))
+	return sends
+}
+
+// proposableValues returns the paper's V: proper values v such that no
+// lock (w, ∗) with w ≠ v is held.
+func (pr *Process) proposableValues() hom.ValueSet {
+	out := hom.NewValueSet()
+	for _, v := range pr.proper.Values() {
+		excluded := false
+		for w := range pr.locks {
+			if w != v {
+				excluded = true
+				break
+			}
+		}
+		if !excluded {
+			out.Add(v)
+		}
+	}
+	return out
+}
+
+// proposeSupport counts the distinct identifiers j with an accepted
+// ⟨propose Vj, phase⟩ such that v ∈ Vj.
+func (pr *Process) proposeSupport(phase int, v hom.Value) int {
+	n := 0
+	for _, set := range pr.proposeAcc[phase] {
+		if set.Contains(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// pickLockValue returns the smallest value with ℓ−t propose support
+// (Figure 5, lines 10–12).
+func (pr *Process) pickLockValue(phase int) (hom.Value, bool) {
+	var candidates []hom.Value
+	seen := hom.NewValueSet()
+	for _, set := range pr.proposeAcc[phase] {
+		for _, v := range set.Values() {
+			if !seen.Contains(v) && pr.proposeSupport(phase, v) >= pr.params.L-pr.params.T {
+				seen.Add(v)
+				candidates = append(candidates, v)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return hom.NoValue, false
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	return candidates[0], true
+}
+
+// pickVoteValue returns the smallest value v with both a ⟨lock v, phase⟩
+// received from the leader identifier and ℓ−t propose support (Figure 5,
+// lines 14–16).
+func (pr *Process) pickVoteValue(phase int) (hom.Value, bool) {
+	var candidates []hom.Value
+	for v := range pr.lockSeen {
+		if pr.proposeSupport(phase, v) >= pr.params.L-pr.params.T {
+			candidates = append(candidates, v)
+		}
+	}
+	if len(candidates) == 0 {
+		return hom.NoValue, false
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	return candidates[0], true
+}
+
+// pickAckValue returns the value to lock and acknowledge in SR4. With the
+// vote round enabled this is a value with ℓ−t accepted votes (lines
+// 18–20); in the DisableVote ablation it degenerates to the original DLS
+// rule (lock on the leader's request directly).
+func (pr *Process) pickAckValue(phase int) (hom.Value, bool) {
+	if pr.opts.DisableVote {
+		return pr.pickVoteValue(phase)
+	}
+	var candidates []hom.Value
+	for v, ids := range pr.voteAcc[phase] {
+		if len(ids) >= pr.params.L-pr.params.T {
+			candidates = append(candidates, v)
+		}
+	}
+	if len(candidates) == 0 {
+		return hom.NoValue, false
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	return candidates[0], true
+}
+
+// Receive implements sim.Process.
+func (pr *Process) Receive(round int, in *msg.Inbox) {
+	phase, pos := phasePos(round)
+
+	// Broadcast layer: fold new accepts into the cumulative tables.
+	for _, acc := range pr.bc.Ingest(round, in) {
+		switch body := acc.Body.(type) {
+		case ProposePayload:
+			if body.Phase < 0 {
+				continue
+			}
+			byID := pr.proposeAcc[body.Phase]
+			if byID == nil {
+				byID = make(map[hom.Identifier]hom.ValueSet)
+				pr.proposeAcc[body.Phase] = byID
+			}
+			set, ok := byID[acc.ID]
+			if !ok {
+				set = hom.NewValueSet()
+				byID[acc.ID] = set
+			}
+			set.AddAll(body.V.Values())
+		case VotePayload:
+			if body.Phase < 0 || body.Val == hom.NoValue {
+				continue
+			}
+			byVal := pr.voteAcc[body.Phase]
+			if byVal == nil {
+				byVal = make(map[hom.Value]map[hom.Identifier]bool)
+				pr.voteAcc[body.Phase] = byVal
+			}
+			if byVal[body.Val] == nil {
+				byVal[body.Val] = make(map[hom.Identifier]bool)
+			}
+			byVal[body.Val][acc.ID] = true
+		}
+	}
+
+	// Proper-set maintenance happens on every round's traffic.
+	pr.updateProper(in)
+
+	switch pos {
+	case 3: // SR2 round 1: record the leader's lock requests.
+		for _, m := range in.FromIdentifier(LeaderID(phase, pr.params.L)) {
+			if lp, ok := m.Body.(LockPayload); ok && lp.Phase == phase && lp.Val != hom.NoValue {
+				pr.lockSeen[lp.Val] = true
+			}
+		}
+	case 7: // SR4 round 1: leaders tally acks for their lock value.
+		if pr.isLeader(phase) && pr.decision == hom.NoValue && pr.leaderLockVal != hom.NoValue {
+			supporters := make(map[hom.Identifier]bool)
+			for _, m := range in.Messages() {
+				if ap, ok := m.Body.(AckPayload); ok && ap.Phase == phase && ap.Val == pr.leaderLockVal {
+					supporters[m.ID] = true
+				}
+			}
+			if len(supporters) >= pr.params.L-pr.params.T {
+				pr.decision = pr.leaderLockVal
+			}
+		}
+	case 8: // SR4 round 2: decide relay, then lock release.
+		if !pr.opts.DisableDecideRelay && pr.decision == hom.NoValue {
+			support := make(map[hom.Value]map[hom.Identifier]bool)
+			for _, m := range in.Messages() {
+				if dp, ok := m.Body.(DecidePayload); ok && dp.Val != hom.NoValue {
+					if support[dp.Val] == nil {
+						support[dp.Val] = make(map[hom.Identifier]bool)
+					}
+					support[dp.Val][m.ID] = true
+				}
+			}
+			var candidates []hom.Value
+			for v, ids := range support {
+				if len(ids) >= pr.params.T+1 {
+					candidates = append(candidates, v)
+				}
+			}
+			if len(candidates) > 0 {
+				sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+				pr.decision = candidates[0]
+			}
+		}
+		pr.releaseLocks()
+	}
+}
+
+// releaseLocks applies Figure 5, lines 27–30: a lock (v1, ph1) is removed
+// once ℓ−t identifiers' votes are accepted for another value in a later
+// phase.
+func (pr *Process) releaseLocks() {
+	for v1, ph1 := range pr.locks {
+		released := false
+		for ph2, byVal := range pr.voteAcc {
+			if ph2 <= ph1 {
+				continue
+			}
+			for v2, ids := range byVal {
+				if v2 != v1 && len(ids) >= pr.params.L-pr.params.T {
+					released = true
+					break
+				}
+			}
+			if released {
+				break
+			}
+		}
+		if released {
+			delete(pr.locks, v1)
+		}
+	}
+}
+
+// updateProper applies the proper-set rules to this round's traffic.
+func (pr *Process) updateProper(in *msg.Inbox) {
+	reporters := make(map[hom.Identifier]bool)
+	supporters := make(map[hom.Value]map[hom.Identifier]bool)
+	for _, m := range in.Messages() {
+		pp, ok := m.Body.(ProperPayload)
+		if !ok {
+			continue
+		}
+		reporters[m.ID] = true
+		for _, v := range pp.V.Values() {
+			if supporters[v] == nil {
+				supporters[v] = make(map[hom.Identifier]bool)
+			}
+			supporters[v][m.ID] = true
+		}
+	}
+	anySupported := false
+	for v, ids := range supporters {
+		if len(ids) >= pr.params.T+1 {
+			pr.proper.Add(v)
+			anySupported = true
+		}
+	}
+	if !anySupported && len(reporters) >= 2*pr.params.T+1 {
+		pr.proper.AddAll(pr.params.EffectiveDomain())
+	}
+}
+
+// Decision implements sim.Process.
+func (pr *Process) Decision() (hom.Value, bool) {
+	return pr.decision, pr.decision != hom.NoValue
+}

@@ -1,0 +1,486 @@
+// Package psyncnum implements the paper's Figure-7 algorithm: Byzantine
+// agreement for numerate processes against restricted Byzantine processes
+// (Appendix A.3.2). Safety requires only n > 3t; liveness requires ℓ > t —
+// together these are exactly the conditions of Theorems 14 and 15, so the
+// algorithm works with as few as t+1 identifiers, in both the synchronous
+// and the partially synchronous model (a synchronous run is the special
+// case with no message drops).
+//
+// The phase skeleton mirrors Figure 5 (propose / lock / vote / ack over
+// four superrounds), but every threshold is a count of *witnesses* rather
+// than of distinct identifiers: when the multiplicity broadcast (package
+// numbcast) performs Accept(i, αᵢ, m, r), the process credits m with αᵢ
+// witnesses for identifier i. The witness total for m is kept as the sum
+// over identifiers of the largest accepted multiplicity — at least the
+// number of correct processes that broadcast m, and at most that number
+// plus the number of Byzantine processes (unforgeability), which is what
+// Lemmas 30–31 need.
+//
+// Termination does not use a decide relay: because ℓ > t, some identifier
+// is held only by correct processes; in a post-GST phase led by that
+// identifier every correct process receives the same lock messages,
+// chooses the same value, and the whole system decides in that phase
+// (Proposition 40).
+package psyncnum
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"homonyms/internal/hom"
+	"homonyms/internal/msg"
+	"homonyms/internal/numbcast"
+	"homonyms/internal/sim"
+)
+
+// Validation errors.
+var (
+	ErrResilience = errors.New("psyncnum: figure-7 algorithm requires n > 3t")
+	ErrIdentifier = errors.New("psyncnum: figure-7 algorithm requires l > t")
+	ErrModel      = errors.New("psyncnum: figure-7 algorithm requires numerate processes and restricted byzantine processes")
+)
+
+// Layout constants of the phase structure.
+const (
+	RoundsPerSuperround = 2
+	SuperroundsPerPhase = 4
+	RoundsPerPhase      = RoundsPerSuperround * SuperroundsPerPhase
+)
+
+// LeaderID returns the leader identifier of a phase: (ph mod ℓ) + 1.
+func LeaderID(phase, l int) hom.Identifier { return hom.Identifier(phase%l + 1) }
+
+// SuggestedMaxRounds returns a round budget covering the GST prefix plus
+// enough phases for every identifier to lead twice after stabilisation.
+func SuggestedMaxRounds(p hom.Params, gst int) int {
+	return gst + RoundsPerPhase*(2*p.L+4)
+}
+
+// New returns a factory of Figure-7 processes after validating n > 3t,
+// ℓ > t and the model switches the algorithm is designed for.
+func New(p hom.Params) (func(slot int) sim.Process, error) {
+	if p.N <= 3*p.T {
+		return nil, fmt.Errorf("%w (n=%d, t=%d)", ErrResilience, p.N, p.T)
+	}
+	if p.L <= p.T {
+		return nil, fmt.Errorf("%w (l=%d, t=%d)", ErrIdentifier, p.L, p.T)
+	}
+	if !p.Numerate || !p.RestrictedByzantine {
+		return nil, ErrModel
+	}
+	return NewUnchecked(p), nil
+}
+
+// NewUnchecked returns a Figure-7 process factory without the ℓ > t
+// liveness check (n > 3t is still required by the broadcast layer). It
+// exists solely for the impossibility experiments, which run the
+// algorithm at ℓ ≤ t where Proposition 16's mirror adversary (package
+// attacks) defeats it. Never use it in real systems.
+func NewUnchecked(p hom.Params) func(slot int) sim.Process {
+	return func(int) sim.Process {
+		return &Process{}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Payloads
+// ---------------------------------------------------------------------------
+
+// ProposePayload is the body of one per-value SR1 broadcast
+// (Broadcast(i, propose v, 4ph)).
+type ProposePayload struct {
+	Phase int
+	Val   hom.Value
+}
+
+// Key implements msg.Payload.
+func (p ProposePayload) Key() string {
+	return msg.NewKey("npropose").Int(p.Phase).Value(p.Val).String()
+}
+
+// VotePayload is the body of the SR3 broadcast
+// (Broadcast(i, vote v, 4ph+2)).
+type VotePayload struct {
+	Phase int
+	Val   hom.Value
+}
+
+// Key implements msg.Payload.
+func (p VotePayload) Key() string { return msg.NewKey("nvote").Int(p.Phase).Value(p.Val).String() }
+
+// LockPayload is the leader's direct ⟨lock, v, ph⟩ message.
+type LockPayload struct {
+	Phase int
+	Val   hom.Value
+}
+
+// Key implements msg.Payload.
+func (p LockPayload) Key() string { return msg.NewKey("nlock").Int(p.Phase).Value(p.Val).String() }
+
+// AckPayload is the direct ⟨ack, v, ph⟩ message.
+type AckPayload struct {
+	Phase int
+	Val   hom.Value
+}
+
+// Key implements msg.Payload.
+func (p AckPayload) Key() string { return msg.NewKey("nack").Int(p.Phase).Value(p.Val).String() }
+
+// ProperPayload carries the sender's proper set, attached every round.
+type ProperPayload struct {
+	V hom.ValueSet
+}
+
+// Key implements msg.Payload.
+func (p ProperPayload) Key() string { return msg.NewKey("nproper").Values(p.V).String() }
+
+// Envelope packs a process's entire round traffic (broadcast bundle,
+// proper set, and any lock/ack message) into ONE payload. The paper's
+// model lets each process send one message per recipient per round, and
+// the restricted-Byzantine bound is exactly that same budget — so a
+// correct process must not need more sends per round than a restricted
+// Byzantine process is allowed, or Lemma 17's twin emulation (and the
+// model's symmetry) breaks. Receivers unpack the envelope before any
+// other processing; copy counts of the envelope carry over to its parts.
+type Envelope struct {
+	Parts []msg.Payload
+}
+
+// Key implements msg.Payload.
+func (e Envelope) Key() string {
+	k := msg.NewKey("nenv")
+	for _, p := range e.Parts {
+		k.Str(p.Key())
+	}
+	return k.String()
+}
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
+
+// Process is the Figure-7 state machine for one process. It implements
+// sim.Process.
+type Process struct {
+	params hom.Params
+	id     hom.Identifier
+	bc     *numbcast.Broadcaster
+
+	proper   hom.ValueSet
+	locks    map[hom.Value]int
+	decision hom.Value
+
+	// witnesses[mKey][id] holds the largest multiplicity accepted for the
+	// broadcast of m under id; the witness total is the sum over ids.
+	witnesses map[string]map[hom.Identifier]int
+	// maxAcceptPhase is the largest phase tag seen on any accepted
+	// propose/vote payload; it bounds the lock-release scan.
+	maxAcceptPhase int
+
+	// Per-phase transient state.
+	lockSeen map[hom.Value]bool
+}
+
+var _ sim.Process = (*Process)(nil)
+
+// Init implements sim.Process.
+func (pr *Process) Init(ctx sim.Context) {
+	pr.params = ctx.Params
+	pr.id = ctx.ID
+	bc, err := numbcast.New(ctx.Params.N, ctx.Params.L, ctx.Params.T)
+	if err != nil {
+		// Unreachable after New's validation; fail loudly in tests.
+		panic("psyncnum: " + err.Error())
+	}
+	pr.bc = bc
+	pr.proper = hom.NewValueSet(ctx.Input)
+	pr.locks = make(map[hom.Value]int)
+	pr.decision = hom.NoValue
+	pr.witnesses = make(map[string]map[hom.Identifier]int)
+	pr.lockSeen = make(map[hom.Value]bool)
+}
+
+// phasePos decomposes a 1-based round into the 0-based phase and 1-based
+// position in the phase (1..8).
+func phasePos(round int) (phase, pos int) {
+	return (round - 1) / RoundsPerPhase, (round-1)%RoundsPerPhase + 1
+}
+
+// proposeSR and voteSR return the global superround tags the phase's
+// broadcasts are bound to (SR1 and SR3 of the phase).
+func proposeSR(phase int) int { return SuperroundsPerPhase*phase + 1 }
+func voteSR(phase int) int    { return SuperroundsPerPhase*phase + 3 }
+
+func (pr *Process) isLeader(phase int) bool {
+	return pr.id == LeaderID(phase, pr.params.L)
+}
+
+// witnessCount sums the per-identifier multiplicities accepted for m.
+func (pr *Process) witnessCount(m msg.Payload) int {
+	total := 0
+	for _, a := range pr.witnesses[m.Key()] {
+		total += a
+	}
+	return total
+}
+
+// Prepare implements sim.Process. The whole round's traffic travels in a
+// single Envelope so that a correct process uses exactly the one-message-
+// per-recipient budget of the model (see Envelope).
+func (pr *Process) Prepare(round int) []msg.Send {
+	phase, pos := phasePos(round)
+	if pos == 1 {
+		pr.lockSeen = make(map[hom.Value]bool)
+	}
+	var parts []msg.Payload
+	need := pr.params.N - pr.params.T
+	switch pos {
+	case 1: // SR1: one broadcast per proposable value.
+		for _, v := range pr.proposableValues().Values() {
+			pr.bc.Broadcast(ProposePayload{Phase: phase, Val: v})
+		}
+	case 3: // SR2: leaders request a lock on a witnessed value.
+		if pr.isLeader(phase) {
+			if v, ok := pr.pickWitnessed(phase, need); ok {
+				parts = append(parts, LockPayload{Phase: phase, Val: v})
+			}
+		}
+	case 5: // SR3: vote for a witnessed value the leader requested.
+		if v, ok := pr.pickVoteValue(phase, need); ok {
+			pr.bc.Broadcast(VotePayload{Phase: phase, Val: v})
+		}
+	case 7: // SR4: lock and acknowledge a value with witnessed votes.
+		if v, ok := pr.pickAckValue(phase, need); ok {
+			pr.locks[v] = phase
+			parts = append(parts, AckPayload{Phase: phase, Val: v})
+		}
+	}
+	if bundle := pr.bc.Outgoing(round); bundle != nil {
+		parts = append(parts, bundle)
+	}
+	parts = append(parts, ProperPayload{V: pr.proper.Clone()})
+	return []msg.Send{msg.Broadcast(Envelope{Parts: parts})}
+}
+
+// proposableValues returns the proper values not excluded by a lock on a
+// different value (Figure 7, line 6).
+func (pr *Process) proposableValues() hom.ValueSet {
+	out := hom.NewValueSet()
+	for _, v := range pr.proper.Values() {
+		excluded := false
+		for w := range pr.locks {
+			if w != v {
+				excluded = true
+				break
+			}
+		}
+		if !excluded {
+			out.Add(v)
+		}
+	}
+	return out
+}
+
+// pickWitnessed returns the smallest value with at least `need` witnesses
+// for (propose v, phase).
+func (pr *Process) pickWitnessed(phase, need int) (hom.Value, bool) {
+	var candidates []hom.Value
+	for _, v := range pr.knownValues() {
+		if pr.witnessCount(ProposePayload{Phase: phase, Val: v}) >= need {
+			candidates = append(candidates, v)
+		}
+	}
+	return smallest(candidates)
+}
+
+// pickVoteValue returns the smallest value with both a leader lock request
+// seen this phase and `need` propose witnesses (Figure 7, lines 12–14).
+func (pr *Process) pickVoteValue(phase, need int) (hom.Value, bool) {
+	var candidates []hom.Value
+	for v := range pr.lockSeen {
+		if pr.witnessCount(ProposePayload{Phase: phase, Val: v}) >= need {
+			candidates = append(candidates, v)
+		}
+	}
+	return smallest(candidates)
+}
+
+// pickAckValue returns the smallest value with `need` witnesses for
+// (vote v, phase) (Figure 7, lines 16–19).
+func (pr *Process) pickAckValue(phase, need int) (hom.Value, bool) {
+	var candidates []hom.Value
+	for _, v := range pr.knownValues() {
+		if pr.witnessCount(VotePayload{Phase: phase, Val: v}) >= need {
+			candidates = append(candidates, v)
+		}
+	}
+	return smallest(candidates)
+}
+
+// knownValues returns the domain extended with any proper values (the
+// domain normally covers everything; proper values outside the domain can
+// only appear if inputs were outside it).
+func (pr *Process) knownValues() []hom.Value {
+	set := hom.NewValueSet(pr.params.EffectiveDomain()...)
+	set.AddAll(pr.proper.Values())
+	return set.Values()
+}
+
+func smallest(candidates []hom.Value) (hom.Value, bool) {
+	if len(candidates) == 0 {
+		return hom.NoValue, false
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	return candidates[0], true
+}
+
+// unpack flattens received envelopes into their parts, preserving copy
+// counts (a sender's k envelope copies become k copies of each part).
+// Non-envelope payloads pass through, so hand-crafted Byzantine parts are
+// still processed.
+func unpack(in *msg.Inbox) *msg.Inbox {
+	var raw []msg.Message
+	for _, m := range in.Messages() {
+		copies := in.Count(m)
+		parts := []msg.Payload{m.Body}
+		if env, ok := m.Body.(Envelope); ok {
+			parts = env.Parts
+		}
+		for c := 0; c < copies; c++ {
+			for _, part := range parts {
+				if part != nil {
+					raw = append(raw, msg.Message{ID: m.ID, Body: part})
+				}
+			}
+		}
+	}
+	return msg.NewInbox(in.Numerate(), raw)
+}
+
+// Receive implements sim.Process.
+func (pr *Process) Receive(round int, rawIn *msg.Inbox) {
+	in := unpack(rawIn)
+	phase, pos := phasePos(round)
+	need := pr.params.N - pr.params.T
+
+	// Multiplicity-broadcast layer: fold accepts into witness tables,
+	// checking that the superround tag matches the payload's phase slot
+	// (a Byzantine init at the wrong superround is discarded here).
+	for _, acc := range pr.bc.Ingest(round, in) {
+		switch body := acc.Body.(type) {
+		case ProposePayload:
+			if acc.SR != proposeSR(body.Phase) {
+				continue
+			}
+			if body.Phase > pr.maxAcceptPhase {
+				pr.maxAcceptPhase = body.Phase
+			}
+		case VotePayload:
+			if acc.SR != voteSR(body.Phase) {
+				continue
+			}
+			if body.Phase > pr.maxAcceptPhase {
+				pr.maxAcceptPhase = body.Phase
+			}
+		default:
+			continue
+		}
+		key := acc.Body.Key()
+		byID := pr.witnesses[key]
+		if byID == nil {
+			byID = make(map[hom.Identifier]int)
+			pr.witnesses[key] = byID
+		}
+		if acc.Alpha > byID[acc.ID] {
+			byID[acc.ID] = acc.Alpha
+		}
+	}
+
+	pr.updateProper(in)
+
+	switch pos {
+	case 3: // Record leader lock requests.
+		for _, m := range in.FromIdentifier(LeaderID(phase, pr.params.L)) {
+			if lp, ok := m.Body.(LockPayload); ok && lp.Phase == phase && lp.Val != hom.NoValue {
+				pr.lockSeen[lp.Val] = true
+			}
+		}
+	case 7: // Decide on n−t ack copies plus n−t propose witnesses
+		// (Figure 7, lines 20–23) — any process, not only leaders.
+		if pr.decision == hom.NoValue {
+			ackCopies := make(map[hom.Value]int)
+			for _, m := range in.Messages() {
+				if ap, ok := m.Body.(AckPayload); ok && ap.Phase == phase && ap.Val != hom.NoValue {
+					ackCopies[ap.Val] += in.Count(m)
+				}
+			}
+			var candidates []hom.Value
+			for v, copies := range ackCopies {
+				if copies >= need && pr.witnessCount(ProposePayload{Phase: phase, Val: v}) >= need {
+					candidates = append(candidates, v)
+				}
+			}
+			if v, ok := smallest(candidates); ok {
+				pr.decision = v
+			}
+		}
+	case 8: // End of phase: release superseded locks (lines 24–26).
+		pr.releaseLocks(need)
+	}
+}
+
+// updateProper applies the numerate proper-set rules (Appendix A.3.2):
+// a value contained in proper sets carried by t+1 message copies in one
+// round becomes proper; receiving 2t+1 proper-set copies with no value in
+// t+1 of them makes every domain value proper.
+func (pr *Process) updateProper(in *msg.Inbox) {
+	totalCopies := 0
+	valueCopies := make(map[hom.Value]int)
+	for _, m := range in.Messages() {
+		pp, ok := m.Body.(ProperPayload)
+		if !ok {
+			continue
+		}
+		copies := in.Count(m)
+		totalCopies += copies
+		for _, v := range pp.V.Values() {
+			valueCopies[v] += copies
+		}
+	}
+	anySupported := false
+	for v, copies := range valueCopies {
+		if copies >= pr.params.T+1 {
+			pr.proper.Add(v)
+			anySupported = true
+		}
+	}
+	if !anySupported && totalCopies >= 2*pr.params.T+1 {
+		pr.proper.AddAll(pr.params.EffectiveDomain())
+	}
+}
+
+// releaseLocks removes a lock (v1, ph1) once another value has `need`
+// vote witnesses in a later phase (Figure 7, lines 24–26).
+func (pr *Process) releaseLocks(need int) {
+	values := pr.knownValues()
+	for v1, ph1 := range pr.locks {
+	scan:
+		for ph2 := ph1 + 1; ph2 <= pr.maxAcceptPhase; ph2++ {
+			for _, v2 := range values {
+				if v2 == v1 {
+					continue
+				}
+				if pr.witnessCount(VotePayload{Phase: ph2, Val: v2}) >= need {
+					delete(pr.locks, v1)
+					break scan
+				}
+			}
+		}
+	}
+}
+
+// Decision implements sim.Process.
+func (pr *Process) Decision() (hom.Value, bool) {
+	return pr.decision, pr.decision != hom.NoValue
+}

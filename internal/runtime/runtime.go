@@ -1,0 +1,309 @@
+// Package runtime is the concurrent counterpart of package sim: every
+// correct process runs in its own goroutine and exchanges messages with a
+// coordinator over unbuffered channels, one lockstep round at a time. It
+// accepts the same sim.Config and produces results that are equal,
+// delivery for delivery, to the sequential kernel's (the equivalence is
+// enforced by tests), so either engine can back the examples, tools and
+// benchmarks.
+//
+// The goroutine lifecycle follows the project's coding guide: Run owns all
+// goroutines it spawns, signals them to stop through a close-once channel,
+// and joins them before returning — no leaks on any path.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"homonyms/internal/hom"
+	"homonyms/internal/msg"
+	"homonyms/internal/sim"
+)
+
+// worker messages: the coordinator drives each process goroutine with a
+// strict prepare → sends → inbox → decision cycle per round.
+type prepareReq struct {
+	round int
+}
+
+type prepareResp struct {
+	slot  int
+	sends []msg.Send
+}
+
+type receiveReq struct {
+	round int
+	inbox *msg.Inbox
+}
+
+type decisionResp struct {
+	slot    int
+	value   hom.Value
+	decided bool
+}
+
+type worker struct {
+	slot    int
+	proc    sim.Process
+	prepare chan prepareReq
+	receive chan receiveReq
+}
+
+// Run executes cfg with one goroutine per correct process. The semantics
+// (identifier stamping, reception dedup/multiplicity, GST enforcement,
+// restricted-Byzantine budget, visibility masks, statistics) match
+// sim.Run exactly.
+func Run(cfg sim.Config) (*sim.Result, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Assignment.Validate(cfg.Params); err != nil {
+		return nil, err
+	}
+	if len(cfg.Inputs) != cfg.Params.N {
+		return nil, fmt.Errorf("%w (got %d, want %d)", hom.ErrInputLength, len(cfg.Inputs), cfg.Params.N)
+	}
+	if cfg.NewProcess == nil {
+		return nil, sim.ErrNilProcessFactory
+	}
+	if cfg.MaxRounds <= 0 {
+		return nil, sim.ErrNoRoundCap
+	}
+
+	n := cfg.Params.N
+	isBad := make([]bool, n)
+	var corrupted []int
+	var observer sim.Observer
+	if cfg.Adversary != nil {
+		bad := cfg.Adversary.Corrupt(cfg.Params, cfg.Assignment.Clone(), append([]hom.Value(nil), cfg.Inputs...))
+		if len(bad) > cfg.Params.T {
+			return nil, fmt.Errorf("%w (%d > %d)", sim.ErrTooManyCorrupt, len(bad), cfg.Params.T)
+		}
+		corrupted = append([]int(nil), bad...)
+		sort.Ints(corrupted)
+		for i, s := range corrupted {
+			if s < 0 || s >= n || (i > 0 && corrupted[i-1] == s) {
+				return nil, fmt.Errorf("%w (slot %d)", sim.ErrCorruptRange, s)
+			}
+			isBad[s] = true
+		}
+		if obs, ok := cfg.Adversary.(sim.Observer); ok {
+			observer = obs
+		}
+	}
+
+	res := &sim.Result{
+		Params:     cfg.Params,
+		Assignment: cfg.Assignment.Clone(),
+		Inputs:     append([]hom.Value(nil), cfg.Inputs...),
+		Corrupted:  corrupted,
+		Decisions:  make([]hom.Value, n),
+		DecidedAt:  make([]int, n),
+	}
+	for i := range res.Decisions {
+		res.Decisions[i] = hom.NoValue
+	}
+
+	// Spawn one goroutine per correct process. Each worker loops on its
+	// prepare channel; closing it shuts the worker down. Replies flow
+	// through shared, coordinator-drained channels.
+	var wg sync.WaitGroup
+	workers := make([]*worker, n)
+	prepareOut := make(chan prepareResp)
+	decisionOut := make(chan decisionResp)
+	for s := 0; s < n; s++ {
+		if isBad[s] {
+			continue
+		}
+		p := cfg.NewProcess(s)
+		if p == nil {
+			return nil, sim.ErrNilProcessFactory
+		}
+		p.Init(sim.Context{ID: cfg.Assignment[s], Input: cfg.Inputs[s], Params: cfg.Params})
+		w := &worker{
+			slot:    s,
+			proc:    p,
+			prepare: make(chan prepareReq),
+			receive: make(chan receiveReq),
+		}
+		workers[s] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range w.prepare {
+				prepareOut <- prepareResp{slot: w.slot, sends: w.proc.Prepare(req.round)}
+				recv := <-w.receive
+				w.proc.Receive(recv.round, recv.inbox)
+				v, ok := w.proc.Decision()
+				decisionOut <- decisionResp{slot: w.slot, value: v, decided: ok}
+			}
+		}()
+	}
+	stop := func() {
+		for _, w := range workers {
+			if w != nil {
+				close(w.prepare)
+			}
+		}
+		wg.Wait()
+	}
+	defer stop()
+
+	visible := func(from, to int) bool {
+		if cfg.Visibility == nil {
+			return true
+		}
+		return cfg.Visibility(from, to)
+	}
+	dropsAllowed := func(round int) bool {
+		return cfg.Params.Synchrony == hom.PartiallySynchronous && round < cfg.GST
+	}
+
+	decidedRemaining := -1
+	liveWorkers := 0
+	for _, w := range workers {
+		if w != nil {
+			liveWorkers++
+		}
+	}
+
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		res.Rounds = round
+
+		// Phase 1: fan out prepare requests, gather sends.
+		for _, w := range workers {
+			if w != nil {
+				w.prepare <- prepareReq{round: round}
+			}
+		}
+		correctSends := make(map[int][]msg.Send, liveWorkers)
+		for i := 0; i < liveWorkers; i++ {
+			resp := <-prepareOut
+			if len(resp.sends) > 0 {
+				correctSends[resp.slot] = resp.sends
+			}
+		}
+
+		// Phase 2: Byzantine sends.
+		byzSends := make(map[int][]msg.TargetedSend, len(corrupted))
+		if cfg.Adversary != nil && len(corrupted) > 0 {
+			view := &sim.View{
+				Params:       cfg.Params,
+				Assignment:   res.Assignment,
+				Inputs:       res.Inputs,
+				Round:        round,
+				CorrectSends: correctSends,
+			}
+			for _, s := range corrupted {
+				byzSends[s] = cfg.Adversary.Sends(round, s, view)
+			}
+		}
+
+		// Phase 3: routing — identical rules to the sequential kernel.
+		raw := make([][]msg.Message, n)
+		var deliveries []msg.Delivered
+		dropsOK := dropsAllowed(round)
+		deliver := func(from, to int, body msg.Payload) {
+			res.Stats.MessagesSent++
+			if !visible(from, to) {
+				return
+			}
+			if from != to && dropsOK && cfg.Adversary != nil && cfg.Adversary.Drop(round, from, to) {
+				res.Stats.MessagesDropped++
+				return
+			}
+			m := msg.Message{ID: cfg.Assignment[from], Body: body}
+			if !isBad[to] {
+				raw[to] = append(raw[to], m)
+			}
+			res.Stats.MessagesDelivered++
+			res.Stats.PayloadBytes += len(body.Key())
+			if cfg.RecordTraffic || observer != nil {
+				deliveries = append(deliveries, msg.Delivered{Round: round, FromSlot: from, ToSlot: to, Msg: m})
+			}
+		}
+		for from := 0; from < n; from++ {
+			if isBad[from] {
+				continue
+			}
+			for _, snd := range correctSends[from] {
+				switch snd.Kind {
+				case msg.ToAll:
+					for to := 0; to < n; to++ {
+						deliver(from, to, snd.Body)
+					}
+				case msg.ToIdentifier:
+					for to := 0; to < n; to++ {
+						if cfg.Assignment[to] == snd.To {
+							deliver(from, to, snd.Body)
+						}
+					}
+				}
+			}
+		}
+		for _, from := range corrupted {
+			perRecipient := make(map[int]int, n)
+			for _, ts := range byzSends[from] {
+				if ts.ToSlot < 0 || ts.ToSlot >= n || ts.Body == nil {
+					continue
+				}
+				if cfg.Params.RestrictedByzantine {
+					if perRecipient[ts.ToSlot] >= 1 {
+						res.Stats.RestrictedViolations++
+						continue
+					}
+					perRecipient[ts.ToSlot]++
+				}
+				deliver(from, ts.ToSlot, ts.Body)
+			}
+		}
+
+		// Phase 4: fan out inboxes, gather decisions.
+		for _, w := range workers {
+			if w != nil {
+				w.receive <- receiveReq{round: round, inbox: msg.NewInbox(cfg.Params.Numerate, raw[w.slot])}
+			}
+		}
+		for i := 0; i < liveWorkers; i++ {
+			d := <-decisionOut
+			if res.DecidedAt[d.slot] == 0 && d.decided {
+				res.Decisions[d.slot] = d.value
+				res.DecidedAt[d.slot] = round
+			}
+		}
+
+		if cfg.RecordTraffic {
+			res.Traffic = append(res.Traffic, deliveries...)
+		}
+		if observer != nil {
+			observer.Observe(round, deliveries)
+		}
+
+		allDecided := true
+		for s := 0; s < n; s++ {
+			if !isBad[s] && res.DecidedAt[s] == 0 {
+				allDecided = false
+				break
+			}
+		}
+		if allDecided {
+			if decidedRemaining < 0 {
+				decidedRemaining = cfg.ExtraRounds
+			}
+			if decidedRemaining == 0 {
+				break
+			}
+			decidedRemaining--
+		}
+	}
+
+	res.AllDecided = true
+	for s := 0; s < n; s++ {
+		if !isBad[s] && res.DecidedAt[s] == 0 {
+			res.AllDecided = false
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,199 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"homonyms/internal/adversary"
+	"homonyms/internal/classical"
+	"homonyms/internal/core"
+	"homonyms/internal/hom"
+	"homonyms/internal/psynchom"
+	"homonyms/internal/runtime"
+	"homonyms/internal/sim"
+	"homonyms/internal/synchom"
+	"homonyms/internal/trace"
+)
+
+// equivalentConfigs builds a set of representative configurations used to
+// assert sim/runtime equivalence.
+func equivalentConfigs(t *testing.T) map[string]sim.Config {
+	t.Helper()
+	cfgs := make(map[string]sim.Config)
+
+	// Synchronous homonym agreement via T(EIG).
+	alg, err := classical.NewEIG(4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSync := hom.Params{N: 7, L: 4, T: 1, Synchrony: hom.Synchronous}
+	syncFactory, err := synchom.New(alg, pSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs["sync-transform"] = sim.Config{
+		Params:     pSync,
+		Assignment: hom.StackedAssignment(7, 4),
+		Inputs:     []hom.Value{0, 1, 0, 1, 0, 1, 0},
+		NewProcess: syncFactory,
+		Adversary: &adversary.Composite{
+			Selector: adversary.Slots{2},
+			Behavior: adversary.Equivocate{Seed: 3},
+		},
+		MaxRounds:     synchom.Rounds(alg) + 3,
+		RecordTraffic: true,
+	}
+
+	// Partially synchronous homonym agreement with drops.
+	pPsync := hom.Params{N: 6, L: 5, T: 1, Synchrony: hom.PartiallySynchronous}
+	psyncFactory, err := psynchom.New(pPsync, psynchom.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs["psync-drops"] = sim.Config{
+		Params:     pPsync,
+		Assignment: hom.RandomAssignment(6, 5, 9),
+		Inputs:     []hom.Value{1, 0, 1, 0, 1, 0},
+		NewProcess: psyncFactory,
+		Adversary: &adversary.Composite{
+			Selector: adversary.Slots{4},
+			Behavior: adversary.MimicFlood{},
+			Drops:    adversary.RandomDrops{Seed: 5, Prob: 0.5},
+		},
+		GST:           17,
+		MaxRounds:     psynchom.SuggestedMaxRounds(pPsync, 17),
+		RecordTraffic: true,
+	}
+	return cfgs
+}
+
+func TestRuntimeMatchesSimExactly(t *testing.T) {
+	for name, cfg := range equivalentConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			seqRes, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatalf("sim.Run: %v", err)
+			}
+			conRes, err := runtime.Run(cfg)
+			if err != nil {
+				t.Fatalf("runtime.Run: %v", err)
+			}
+			if seqRes.Rounds != conRes.Rounds {
+				t.Fatalf("rounds: sim=%d runtime=%d", seqRes.Rounds, conRes.Rounds)
+			}
+			if seqRes.Stats != conRes.Stats {
+				t.Fatalf("stats diverged:\nsim:     %+v\nruntime: %+v", seqRes.Stats, conRes.Stats)
+			}
+			for s := range seqRes.Decisions {
+				if seqRes.Decisions[s] != conRes.Decisions[s] || seqRes.DecidedAt[s] != conRes.DecidedAt[s] {
+					t.Fatalf("slot %d: sim decided %d@%d, runtime %d@%d", s,
+						seqRes.Decisions[s], seqRes.DecidedAt[s], conRes.Decisions[s], conRes.DecidedAt[s])
+				}
+			}
+			if len(seqRes.Traffic) != len(conRes.Traffic) {
+				t.Fatalf("traffic length: sim=%d runtime=%d", len(seqRes.Traffic), len(conRes.Traffic))
+			}
+			for i := range seqRes.Traffic {
+				a, b := seqRes.Traffic[i], conRes.Traffic[i]
+				if a.Round != b.Round || a.FromSlot != b.FromSlot || a.ToSlot != b.ToSlot ||
+					a.Msg.Key() != b.Msg.Key() {
+					t.Fatalf("delivery %d diverged: sim=%+v runtime=%+v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestRuntimeVerdicts(t *testing.T) {
+	cfg := equivalentConfigs(t)["psync-drops"]
+	res, err := runtime.Run(cfg)
+	if err != nil {
+		t.Fatalf("runtime.Run: %v", err)
+	}
+	if v := trace.Check(res); !v.OK() {
+		t.Fatalf("%s", v)
+	}
+}
+
+func TestRuntimeValidation(t *testing.T) {
+	cfg := equivalentConfigs(t)["sync-transform"]
+	cfg.MaxRounds = 0
+	if _, err := runtime.Run(cfg); err == nil {
+		t.Fatal("runtime.Run accepted MaxRounds = 0")
+	}
+	cfg = equivalentConfigs(t)["sync-transform"]
+	cfg.NewProcess = nil
+	if _, err := runtime.Run(cfg); err == nil {
+		t.Fatal("runtime.Run accepted nil factory")
+	}
+}
+
+func TestCoreSelectMatchesTable1(t *testing.T) {
+	tests := []struct {
+		p    hom.Params
+		want core.AlgorithmID
+		ok   bool
+	}{
+		{hom.Params{N: 7, L: 4, T: 1, Synchrony: hom.Synchronous}, core.AlgSyncTransformEIG, true},
+		{hom.Params{N: 6, L: 5, T: 1, Synchrony: hom.PartiallySynchronous}, core.AlgPsyncHomonym, true},
+		{hom.Params{N: 7, L: 2, T: 1, Synchrony: hom.PartiallySynchronous, Numerate: true, RestrictedByzantine: true}, core.AlgNumerate, true},
+		{hom.Params{N: 7, L: 2, T: 1, Synchrony: hom.Synchronous, Numerate: true, RestrictedByzantine: true}, core.AlgNumerate, true},
+		{hom.Params{N: 5, L: 4, T: 1, Synchrony: hom.PartiallySynchronous}, "", false},
+		{hom.Params{N: 7, L: 3, T: 1, Synchrony: hom.Synchronous}, "", false},
+	}
+	for _, tc := range tests {
+		sel, err := core.Select(tc.p)
+		if tc.ok {
+			if err != nil {
+				t.Fatalf("Select(%v): %v", tc.p, err)
+			}
+			if sel.Algorithm != tc.want {
+				t.Fatalf("Select(%v) = %s, want %s", tc.p, sel.Algorithm, tc.want)
+			}
+			if sel.SuggestedRounds(1) <= 0 {
+				t.Fatalf("Select(%v): non-positive round budget", tc.p)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("Select(%v) succeeded, want unsolvable error", tc.p)
+		}
+	}
+}
+
+func TestCoreRunEndToEnd(t *testing.T) {
+	for _, p := range []hom.Params{
+		{N: 7, L: 4, T: 1, Synchrony: hom.Synchronous},
+		{N: 6, L: 5, T: 1, Synchrony: hom.PartiallySynchronous},
+		{N: 7, L: 2, T: 1, Synchrony: hom.PartiallySynchronous, Numerate: true, RestrictedByzantine: true},
+	} {
+		inputs := make([]hom.Value, p.N)
+		for i := range inputs {
+			inputs[i] = hom.Value(i % 2)
+		}
+		res, err := core.Run(core.Config{
+			Params: p,
+			Inputs: inputs,
+			Adversary: &adversary.Composite{
+				Selector: adversary.Slots{1},
+				Behavior: adversary.Equivocate{Seed: 2},
+			},
+		})
+		if err != nil {
+			t.Fatalf("core.Run(%v): %v", p, err)
+		}
+		if !res.Verdict.OK() || !res.Decided {
+			t.Fatalf("core.Run(%v): %s (decided=%v)", p, res.Verdict, res.Decided)
+		}
+	}
+}
+
+func TestCoreRunUnanimous(t *testing.T) {
+	p := hom.Params{N: 6, L: 5, T: 1, Synchrony: hom.PartiallySynchronous}
+	res, err := core.RunUnanimous(p, 1, nil, 1)
+	if err != nil {
+		t.Fatalf("RunUnanimous: %v", err)
+	}
+	if !res.Decided || res.Decision != 1 {
+		t.Fatalf("unanimous run decided %v (%v)", res.Decision, res.Decided)
+	}
+}

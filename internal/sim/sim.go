@@ -1,0 +1,446 @@
+// Package sim implements a deterministic, round-based simulation kernel for
+// the homonym model of Delporte-Gallet et al. (PODC 2011).
+//
+// The kernel realises exactly the paper's two timing models:
+//
+//   - Synchronous: in each round every process sends to (subsets of) the
+//     other processes and then receives everything sent to it that round.
+//   - Partially synchronous (the "basic" model of Dwork, Lynch and
+//     Stockmeyer): rounds as above, but an adversary may suppress message
+//     deliveries in any round before a global stabilisation round (GST).
+//     From GST on, every message is delivered, which realises "only a
+//     finite number of messages are dropped".
+//
+// Correct processes are deterministic state machines behind the Process
+// interface. They are addressed only by their authenticated identifier;
+// several processes may share an identifier (homonyms) and a receiver can
+// never tell which group member sent a message. Byzantine processes are
+// played by an Adversary, which is omniscient (it sees parameters,
+// assignment, inputs, and all traffic, including the current round's
+// correct sends — a rushing adversary) but can never forge an identifier:
+// the engine stamps every delivery with the true identifier of the sending
+// slot.
+//
+// Two model switches from the paper are enforced by the engine itself:
+//
+//   - Numerate vs innumerate reception: inboxes carry multiset or set
+//     semantics (msg.Inbox).
+//   - Restricted Byzantine processes: at most one message per recipient
+//     per round from each Byzantine slot; excess messages are discarded
+//     and counted, so lower-bound experiments in the restricted model are
+//     honest.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"homonyms/internal/hom"
+	"homonyms/internal/msg"
+)
+
+// Context carries everything a correct process may legally know at start:
+// its authenticated identifier, its input value and the public model
+// parameters. Deliberately absent: the process's engine slot and the
+// identifier assignment — homonyms must not be able to tell themselves
+// apart (paper §2: internal process names "cannot be used by the processes
+// themselves in their algorithms").
+type Context struct {
+	ID     hom.Identifier
+	Input  hom.Value
+	Params hom.Params
+}
+
+// Process is a deterministic correct process. The engine drives it with
+// the round protocol: Prepare(r) collects the messages to send in round r,
+// then Receive(r, inbox) delivers what arrived in round r. Decision is
+// polled after every round; once it reports a value it must keep reporting
+// the same value (decisions are irrevocable).
+type Process interface {
+	// Init is called once before round 1.
+	Init(ctx Context)
+	// Prepare returns the sends for the given round (1-based).
+	Prepare(round int) []msg.Send
+	// Receive delivers the round's inbox.
+	Receive(round int, in *msg.Inbox)
+	// Decision returns the decided value, if any.
+	Decision() (hom.Value, bool)
+}
+
+// View is the omniscient adversary's window onto the execution for the
+// current round. CorrectSends exposes the messages correct slots are about
+// to send this round (rushing adversary).
+type View struct {
+	Params       hom.Params
+	Assignment   hom.Assignment
+	Inputs       []hom.Value
+	Round        int
+	CorrectSends map[int][]msg.Send
+}
+
+// Adversary controls the Byzantine slots and (in the partially synchronous
+// model) message suppression. Implementations must be deterministic given
+// their own construction parameters.
+type Adversary interface {
+	// Corrupt selects the slots to corrupt, at most Params.T of them. It
+	// is called once, before round 1.
+	Corrupt(p hom.Params, a hom.Assignment, inputs []hom.Value) []int
+	// Sends returns the messages the given corrupted slot emits this
+	// round. The engine stamps them with the slot's true identifier.
+	Sends(round, slot int, view *View) []msg.TargetedSend
+	// Drop reports whether the message from fromSlot to toSlot should be
+	// suppressed this round. It is only honoured in the partially
+	// synchronous model for rounds before the engine's GST, and never for
+	// self-deliveries.
+	Drop(round, fromSlot, toSlot int) bool
+}
+
+// Observer is an optional extension: adversaries that implement it are
+// shown every delivery at the end of each round.
+type Observer interface {
+	Observe(round int, deliveries []msg.Delivered)
+}
+
+// Config assembles one execution.
+type Config struct {
+	Params     hom.Params
+	Assignment hom.Assignment
+	// Inputs holds one proposal per slot. Inputs of corrupted slots are
+	// ignored.
+	Inputs []hom.Value
+	// NewProcess builds the correct process for a slot. The slot argument
+	// lets the harness pick per-group implementations; the process itself
+	// only ever learns its identifier and input via Context.
+	NewProcess func(slot int) Process
+	// Adversary plays the Byzantine slots; nil means a fault-free run.
+	Adversary Adversary
+	// GST is the first round at which message drops are forbidden
+	// (partially synchronous model only). GST <= 1 makes the execution
+	// effectively synchronous.
+	GST int
+	// MaxRounds caps the execution. Required (> 0).
+	MaxRounds int
+	// ExtraRounds keeps the engine running this many rounds after every
+	// correct process has decided, which lets tests observe post-decision
+	// behaviour (the paper's processes "continue running the algorithm").
+	ExtraRounds int
+	// Visibility optionally restricts which slot pairs can communicate;
+	// nil means complete connectivity. Used by the covering-system
+	// impossibility scenario (paper Figure 1).
+	Visibility func(fromSlot, toSlot int) bool
+	// RecordTraffic stores every delivery in the result (memory-heavy;
+	// for debugging and the attack experiments).
+	RecordTraffic bool
+}
+
+// Validation errors for Config.
+var (
+	ErrNilProcessFactory = errors.New("sim: NewProcess must not be nil")
+	ErrNoRoundCap        = errors.New("sim: MaxRounds must be positive")
+	ErrTooManyCorrupt    = errors.New("sim: adversary corrupted more than T slots")
+	ErrCorruptRange      = errors.New("sim: adversary corrupted an out-of-range or duplicate slot")
+)
+
+// Stats aggregates execution costs.
+type Stats struct {
+	// MessagesSent counts messages handed to the engine (after expanding
+	// identifier-targeted sends to their recipient sets).
+	MessagesSent int
+	// MessagesDelivered counts actual deliveries.
+	MessagesDelivered int
+	// MessagesDropped counts adversarial suppressions.
+	MessagesDropped int
+	// PayloadBytes sums len(Key()) over delivered payloads — a
+	// serialisation-free proxy for bandwidth.
+	PayloadBytes int
+	// RestrictedViolations counts messages a restricted Byzantine slot
+	// attempted beyond its one-per-recipient budget (discarded).
+	RestrictedViolations int
+}
+
+// Result reports one execution.
+type Result struct {
+	Params     hom.Params
+	Assignment hom.Assignment
+	Inputs     []hom.Value
+	// Corrupted lists the Byzantine slots, sorted.
+	Corrupted []int
+	// Decisions holds each slot's decision (hom.NoValue when undecided or
+	// corrupted).
+	Decisions []hom.Value
+	// DecidedAt holds the 1-based round of each slot's decision (0 when
+	// undecided).
+	DecidedAt []int
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// AllDecided reports whether every correct slot decided.
+	AllDecided bool
+	Stats      Stats
+	// Traffic holds every delivery when Config.RecordTraffic was set.
+	Traffic []msg.Delivered
+}
+
+// IsCorrupted reports whether the slot was Byzantine in this execution.
+func (r *Result) IsCorrupted(slot int) bool {
+	i := sort.SearchInts(r.Corrupted, slot)
+	return i < len(r.Corrupted) && r.Corrupted[i] == slot
+}
+
+// CorrectSlots returns the sorted non-corrupted slots.
+func (r *Result) CorrectSlots() []int {
+	out := make([]int, 0, len(r.Decisions)-len(r.Corrupted))
+	for s := range r.Decisions {
+		if !r.IsCorrupted(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Run executes the configured instance to completion (all correct slots
+// decided, plus ExtraRounds) or to MaxRounds.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Assignment.Validate(cfg.Params); err != nil {
+		return nil, err
+	}
+	if len(cfg.Inputs) != cfg.Params.N {
+		return nil, fmt.Errorf("%w (got %d, want %d)", hom.ErrInputLength, len(cfg.Inputs), cfg.Params.N)
+	}
+	if cfg.NewProcess == nil {
+		return nil, ErrNilProcessFactory
+	}
+	if cfg.MaxRounds <= 0 {
+		return nil, ErrNoRoundCap
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.run()
+}
+
+// engine holds the mutable execution state.
+type engine struct {
+	cfg       Config
+	n         int
+	procs     []Process // nil at corrupted slots
+	corrupted []int
+	isBad     []bool
+	decisions []hom.Value
+	decidedAt []int
+	res       *Result
+	observer  Observer
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	n := cfg.Params.N
+	e := &engine{
+		cfg:       cfg,
+		n:         n,
+		procs:     make([]Process, n),
+		isBad:     make([]bool, n),
+		decisions: make([]hom.Value, n),
+		decidedAt: make([]int, n),
+	}
+	for i := range e.decisions {
+		e.decisions[i] = hom.NoValue
+	}
+	if cfg.Adversary != nil {
+		bad := cfg.Adversary.Corrupt(cfg.Params, cfg.Assignment.Clone(), append([]hom.Value(nil), cfg.Inputs...))
+		if len(bad) > cfg.Params.T {
+			return nil, fmt.Errorf("%w (%d > %d)", ErrTooManyCorrupt, len(bad), cfg.Params.T)
+		}
+		sorted := append([]int(nil), bad...)
+		sort.Ints(sorted)
+		for i, s := range sorted {
+			if s < 0 || s >= n || (i > 0 && sorted[i-1] == s) {
+				return nil, fmt.Errorf("%w (slot %d)", ErrCorruptRange, s)
+			}
+			e.isBad[s] = true
+		}
+		e.corrupted = sorted
+		if obs, ok := cfg.Adversary.(Observer); ok {
+			e.observer = obs
+		}
+	}
+	for s := 0; s < n; s++ {
+		if e.isBad[s] {
+			continue
+		}
+		p := cfg.NewProcess(s)
+		if p == nil {
+			return nil, ErrNilProcessFactory
+		}
+		p.Init(Context{ID: cfg.Assignment[s], Input: cfg.Inputs[s], Params: cfg.Params})
+		e.procs[s] = p
+	}
+	e.res = &Result{
+		Params:     cfg.Params,
+		Assignment: cfg.Assignment.Clone(),
+		Inputs:     append([]hom.Value(nil), cfg.Inputs...),
+		Corrupted:  e.corrupted,
+		Decisions:  e.decisions,
+		DecidedAt:  e.decidedAt,
+	}
+	return e, nil
+}
+
+// visible applies the optional topology mask.
+func (e *engine) visible(from, to int) bool {
+	if e.cfg.Visibility == nil {
+		return true
+	}
+	return e.cfg.Visibility(from, to)
+}
+
+// dropsAllowed reports whether the adversary may suppress deliveries in
+// this round.
+func (e *engine) dropsAllowed(round int) bool {
+	return e.cfg.Params.Synchrony == hom.PartiallySynchronous && round < e.cfg.GST
+}
+
+func (e *engine) run() (*Result, error) {
+	decidedRemaining := -1 // countdown once everyone decided
+	for round := 1; round <= e.cfg.MaxRounds; round++ {
+		e.res.Rounds = round
+		e.step(round)
+		if e.allCorrectDecided() {
+			if decidedRemaining < 0 {
+				decidedRemaining = e.cfg.ExtraRounds
+			}
+			if decidedRemaining == 0 {
+				break
+			}
+			decidedRemaining--
+		}
+	}
+	e.res.AllDecided = e.allCorrectDecided()
+	return e.res, nil
+}
+
+func (e *engine) allCorrectDecided() bool {
+	for s := 0; s < e.n; s++ {
+		if !e.isBad[s] && e.decidedAt[s] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// step executes one round: collect correct sends, ask the adversary for
+// Byzantine sends, deliver, and advance every correct process.
+func (e *engine) step(round int) {
+	// Phase 1: correct sends.
+	correctSends := make(map[int][]msg.Send, e.n)
+	for s := 0; s < e.n; s++ {
+		if e.isBad[s] {
+			continue
+		}
+		sends := e.procs[s].Prepare(round)
+		if len(sends) > 0 {
+			correctSends[s] = sends
+		}
+	}
+
+	// Phase 2: Byzantine sends (rushing: the adversary sees phase 1).
+	byzSends := make(map[int][]msg.TargetedSend, len(e.corrupted))
+	if e.cfg.Adversary != nil && len(e.corrupted) > 0 {
+		view := &View{
+			Params:       e.cfg.Params,
+			Assignment:   e.res.Assignment,
+			Inputs:       e.res.Inputs,
+			Round:        round,
+			CorrectSends: correctSends,
+		}
+		for _, s := range e.corrupted {
+			byzSends[s] = e.cfg.Adversary.Sends(round, s, view)
+		}
+	}
+
+	// Phase 3: expand, filter, deliver.
+	raw := make([][]msg.Message, e.n) // per receiver
+	var deliveries []msg.Delivered
+	dropsOK := e.dropsAllowed(round)
+
+	deliver := func(from, to int, body msg.Payload) {
+		e.res.Stats.MessagesSent++
+		if !e.visible(from, to) {
+			return
+		}
+		if from != to && dropsOK && e.cfg.Adversary != nil && e.cfg.Adversary.Drop(round, from, to) {
+			e.res.Stats.MessagesDropped++
+			return
+		}
+		m := msg.Message{ID: e.cfg.Assignment[from], Body: body}
+		if !e.isBad[to] {
+			raw[to] = append(raw[to], m)
+		}
+		e.res.Stats.MessagesDelivered++
+		e.res.Stats.PayloadBytes += len(body.Key())
+		if e.cfg.RecordTraffic || e.observer != nil {
+			deliveries = append(deliveries, msg.Delivered{Round: round, FromSlot: from, ToSlot: to, Msg: m})
+		}
+	}
+
+	for from := 0; from < e.n; from++ {
+		if e.isBad[from] {
+			continue
+		}
+		for _, s := range correctSends[from] {
+			switch s.Kind {
+			case msg.ToAll:
+				for to := 0; to < e.n; to++ {
+					deliver(from, to, s.Body)
+				}
+			case msg.ToIdentifier:
+				for to := 0; to < e.n; to++ {
+					if e.cfg.Assignment[to] == s.To {
+						deliver(from, to, s.Body)
+					}
+				}
+			}
+		}
+	}
+	for _, from := range e.corrupted {
+		perRecipient := make(map[int]int, e.n)
+		for _, ts := range byzSends[from] {
+			if ts.ToSlot < 0 || ts.ToSlot >= e.n || ts.Body == nil {
+				continue
+			}
+			if e.cfg.Params.RestrictedByzantine {
+				if perRecipient[ts.ToSlot] >= 1 {
+					e.res.Stats.RestrictedViolations++
+					continue
+				}
+				perRecipient[ts.ToSlot]++
+			}
+			deliver(from, ts.ToSlot, ts.Body)
+		}
+	}
+
+	// Phase 4: reception and state transitions.
+	for to := 0; to < e.n; to++ {
+		if e.isBad[to] {
+			continue
+		}
+		in := msg.NewInbox(e.cfg.Params.Numerate, raw[to])
+		e.procs[to].Receive(round, in)
+		if e.decidedAt[to] == 0 {
+			if v, ok := e.procs[to].Decision(); ok {
+				e.decisions[to] = v
+				e.decidedAt[to] = round
+			}
+		}
+	}
+
+	if e.cfg.RecordTraffic {
+		e.res.Traffic = append(e.res.Traffic, deliveries...)
+	}
+	if e.observer != nil {
+		e.observer.Observe(round, deliveries)
+	}
+}

@@ -1,0 +1,307 @@
+// Package solvability regenerates the paper's Table 1 empirically
+// (experiment E1). For every cell of a parameter grid it either runs the
+// matching agreement algorithm under an adversary suite and checks all
+// three correctness properties ("solvable" cells), or runs the matching
+// lower-bound construction and checks that a violation is exhibited
+// ("unsolvable" cells). Unsolvable cells that are not directly at an
+// attack boundary are covered by identifier monotonicity: removing
+// identifiers never makes agreement easier, so a violation at the
+// boundary ℓ′ ≥ ℓ covers the cell (the reports say so explicitly).
+package solvability
+
+import (
+	"fmt"
+
+	"homonyms/internal/adversary"
+	"homonyms/internal/attacks"
+	"homonyms/internal/classical"
+	"homonyms/internal/core"
+	"homonyms/internal/hom"
+	"homonyms/internal/psynchom"
+	"homonyms/internal/psyncnum"
+	"homonyms/internal/sim"
+	"homonyms/internal/synchom"
+	"homonyms/internal/trace"
+)
+
+// Outcome classifies a cell's empirical result.
+type Outcome int
+
+const (
+	// Solved: the selected algorithm satisfied validity, agreement and
+	// termination across the whole adversary suite.
+	Solved Outcome = iota + 1
+	// Violated: the matching attack exhibited a property violation.
+	Violated
+	// CoveredByBoundary: the cell is unsolvable and is covered by a
+	// boundary cell's attack (identifier monotonicity).
+	CoveredByBoundary
+	// Mismatch: the experiment contradicted Table 1 — this must never
+	// happen and fails the harness.
+	Mismatch
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Solved:
+		return "solved"
+	case Violated:
+		return "violated"
+	case CoveredByBoundary:
+		return "covered-by-boundary"
+	case Mismatch:
+		return "MISMATCH"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Cell is the empirical result for one parameter combination.
+type Cell struct {
+	Params hom.Params
+	// Expect is Table 1's prediction.
+	Expect bool
+	// Outcome is the empirical classification.
+	Outcome Outcome
+	// Detail explains the outcome (suite size, attack name, boundary
+	// reference, or the observed violation).
+	Detail string
+	// WorstDecisionRound is the slowest decision over the positive suite
+	// (0 for negative cells).
+	WorstDecisionRound int
+	// MessagesDelivered sums deliveries over the positive suite.
+	MessagesDelivered int
+}
+
+// SuiteSize configures how many assignment/adversary combinations the
+// positive suite runs per cell.
+type SuiteSize struct {
+	Assignments int
+	Behaviors   int
+}
+
+// DefaultSuite is a balanced suite for grid sweeps.
+func DefaultSuite() SuiteSize { return SuiteSize{Assignments: 2, Behaviors: 3} }
+
+// EvaluateCell runs one cell of the matrix.
+func EvaluateCell(p hom.Params, suite SuiteSize, seed int64) (*Cell, error) {
+	cell := &Cell{Params: p, Expect: p.Solvable()}
+	if cell.Expect {
+		return evaluateSolvable(cell, p, suite, seed)
+	}
+	return evaluateUnsolvable(cell, p, seed)
+}
+
+func behaviors(seed int64, k int) []adversary.Behavior {
+	all := []adversary.Behavior{
+		adversary.Equivocate{Seed: seed},
+		adversary.Silent{},
+		adversary.MimicFlood{},
+		adversary.Noise{Seed: seed},
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+func evaluateSolvable(cell *Cell, p hom.Params, suite SuiteSize, seed int64) (*Cell, error) {
+	assignments := []hom.Assignment{hom.RoundRobinAssignment(p.N, p.L)}
+	if suite.Assignments > 1 {
+		assignments = append(assignments, hom.StackedAssignment(p.N, p.L))
+	}
+	for i := 2; i < suite.Assignments; i++ {
+		assignments = append(assignments, hom.RandomAssignment(p.N, p.L, seed+int64(i)))
+	}
+	behs := behaviors(seed, suite.Behaviors)
+	if p.T == 0 {
+		behs = []adversary.Behavior{nil}
+	}
+	gst := 1
+	if p.Synchrony == hom.PartiallySynchronous {
+		gst = 2 * p.L * 2 // a pre-GST window with drops, then stabilisation
+	}
+	runs := 0
+	for ai, a := range assignments {
+		for bi, beh := range behs {
+			inputs := make([]hom.Value, p.N)
+			for j := range inputs {
+				inputs[j] = hom.Value((j + ai + bi) % 2)
+			}
+			var adv sim.Adversary
+			if beh != nil {
+				comp := &adversary.Composite{
+					Selector: adversary.RandomT{Seed: seed + int64(ai*7+bi)},
+					Behavior: beh,
+				}
+				if p.Synchrony == hom.PartiallySynchronous && !p.RestrictedByzantine {
+					comp.Drops = adversary.RandomDrops{Seed: seed + int64(bi), Prob: 0.5}
+				}
+				adv = comp
+			}
+			res, err := core.Run(core.Config{
+				Params:     p,
+				Assignment: a,
+				Inputs:     inputs,
+				Adversary:  adv,
+				GST:        gst,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("cell %v: %w", p, err)
+			}
+			runs++
+			if !res.Verdict.OK() {
+				cell.Outcome = Mismatch
+				cell.Detail = fmt.Sprintf("expected solvable but run %d failed: %s", runs, res.Verdict)
+				return cell, nil
+			}
+			if r := trace.LatestDecisionRound(res.Sim); r > cell.WorstDecisionRound {
+				cell.WorstDecisionRound = r
+			}
+			cell.MessagesDelivered += res.Sim.Stats.MessagesDelivered
+		}
+	}
+	cell.Outcome = Solved
+	cell.Detail = fmt.Sprintf("suite of %d adversarial runs all satisfied the specification", runs)
+	return cell, nil
+}
+
+func evaluateUnsolvable(cell *Cell, p hom.Params, seed int64) (*Cell, error) {
+	switch {
+	case p.N <= 3*p.T:
+		cell.Outcome = CoveredByBoundary
+		cell.Detail = "n <= 3t: classical resilience bound [Pease-Shostak-Lamport], below every homonym bound"
+		return cell, nil
+
+	case p.RestrictedByzantine && p.Numerate:
+		// l <= t: the mirror experiment (Proposition 16 / Lemma 17).
+		factory := psyncnum.NewUnchecked(p)
+		assignment := hom.RoundRobinAssignment(p.N, p.L)
+		baseInputs := make([]hom.Value, p.N)
+		for i := p.N / 2; i < p.N; i++ {
+			baseInputs[i] = 1
+		}
+		flipped := p.L // first slot of the second rotation holds identifier 1 again
+		if flipped >= p.N {
+			flipped = p.N - 1
+		}
+		rep, err := attacks.Mirror(p, factory, assignment, baseInputs, flipped, 0, 1,
+			psyncnum.SuggestedMaxRounds(p, 1))
+		if err != nil {
+			return nil, err
+		}
+		if rep.Indistinguishable {
+			cell.Outcome = Violated
+			cell.Detail = "mirror twins made input-adjacent configurations indistinguishable (Lemma 17); the valency argument of Proposition 16 applies"
+		} else {
+			cell.Outcome = Mismatch
+			cell.Detail = "mirror experiment failed to establish indistinguishability: " + rep.Detail
+		}
+		return cell, nil
+
+	case p.Synchrony == hom.PartiallySynchronous && p.L > 3*p.T:
+		// 3t < l <= (n+3t)/2: the Figure-4 partition attack.
+		factory := psynchom.NewUnchecked(p, psynchom.Options{})
+		rep, err := attacks.Partition(p, factory, 12*psynchom.RoundsPerPhase)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Succeeded() {
+			cell.Outcome = Violated
+			cell.Detail = "partition attack (Figure 4): " + rep.Verdict.String()
+		} else {
+			cell.Outcome = Mismatch
+			cell.Detail = "partition attack did not violate agreement: " + rep.Verdict.String()
+		}
+		return cell, nil
+
+	case p.L == 3*p.T:
+		// The synchronous boundary: the Figure-1 covering scenario.
+		alg, err := classical.NewEIGUnchecked(p.L, p.T, p.EffectiveDomain())
+		if err != nil {
+			return nil, err
+		}
+		syncP := p
+		syncP.Synchrony = hom.Synchronous
+		factory, err := synchom.New(alg, syncP)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := attacks.Covering(syncP, factory, synchom.Rounds(alg)+6)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Succeeded() {
+			cell.Outcome = Violated
+			cell.Detail = fmt.Sprintf("covering scenario (Figure 1): %v", rep.Violations[0])
+		} else {
+			cell.Outcome = Mismatch
+			cell.Detail = "covering scenario found no violation"
+		}
+		return cell, nil
+
+	default:
+		// l < 3t: covered by the l = 3t boundary via identifier
+		// monotonicity.
+		cell.Outcome = CoveredByBoundary
+		cell.Detail = fmt.Sprintf("covered by the l = 3t = %d covering-scenario boundary (fewer identifiers are strictly weaker)", 3*p.T)
+		return cell, nil
+	}
+}
+
+// Variant selects the model flags for a grid sweep.
+type Variant struct {
+	Name                string
+	Synchrony           hom.Synchrony
+	Numerate            bool
+	RestrictedByzantine bool
+}
+
+// Variants returns the four Table-1 rows/columns as sweepable variants.
+func Variants() []Variant {
+	return []Variant{
+		{Name: "sync/innumerate/unrestricted", Synchrony: hom.Synchronous},
+		{Name: "psync/innumerate/unrestricted", Synchrony: hom.PartiallySynchronous},
+		{Name: "sync/numerate/restricted", Synchrony: hom.Synchronous, Numerate: true, RestrictedByzantine: true},
+		{Name: "psync/numerate/restricted", Synchrony: hom.PartiallySynchronous, Numerate: true, RestrictedByzantine: true},
+	}
+}
+
+// Matrix evaluates a full (n, t, l) grid for one variant. Cells whose
+// parameters fail validation (l > n) are skipped.
+func Matrix(ns, ts []int, v Variant, suite SuiteSize, seed int64) ([]*Cell, error) {
+	var out []*Cell
+	for _, n := range ns {
+		for _, t := range ts {
+			for l := 1; l <= n; l++ {
+				p := hom.Params{
+					N: n, L: l, T: t,
+					Synchrony:           v.Synchrony,
+					Numerate:            v.Numerate,
+					RestrictedByzantine: v.RestrictedByzantine,
+				}
+				if p.Validate() != nil {
+					continue
+				}
+				cell, err := EvaluateCell(p, suite, seed)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, cell)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Consistent reports whether every cell's empirical outcome matches its
+// Table-1 prediction (no Mismatch entries).
+func Consistent(cells []*Cell) (bool, *Cell) {
+	for _, c := range cells {
+		if c.Outcome == Mismatch {
+			return false, c
+		}
+	}
+	return true, nil
+}

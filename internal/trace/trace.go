@@ -1,0 +1,178 @@
+// Package trace checks the three Byzantine-agreement correctness
+// properties (paper §2) over finished executions and renders verdicts:
+//
+//  1. Validity: if all correct processes propose the same value v, no
+//     correct process decides a value different from v.
+//  2. Agreement: no two correct processes decide differently.
+//  3. Termination: eventually every correct process decides. In a finite
+//     simulation this becomes "every correct process decided within the
+//     round budget"; callers choose budgets generously relative to the
+//     algorithm's proven round complexity so a failed check is meaningful.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"homonyms/internal/hom"
+	"homonyms/internal/sim"
+)
+
+// Property identifies one of the three agreement properties.
+type Property int
+
+const (
+	// Validity is property (1) of the paper's §2.
+	Validity Property = iota + 1
+	// Agreement is property (2).
+	Agreement
+	// Termination is property (3), bounded by the round budget.
+	Termination
+)
+
+// String implements fmt.Stringer.
+func (p Property) String() string {
+	switch p {
+	case Validity:
+		return "validity"
+	case Agreement:
+		return "agreement"
+	case Termination:
+		return "termination"
+	default:
+		return fmt.Sprintf("property(%d)", int(p))
+	}
+}
+
+// Violation describes one observed property violation.
+type Violation struct {
+	Property Property
+	Detail   string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string { return v.Property.String() + ": " + v.Detail }
+
+// Verdict summarises the property checks for one execution.
+type Verdict struct {
+	Violations []Violation
+}
+
+// OK reports whether no property was violated.
+func (v Verdict) OK() bool { return len(v.Violations) == 0 }
+
+// Has reports whether the given property was violated.
+func (v Verdict) Has(p Property) bool {
+	for _, viol := range v.Violations {
+		if viol.Property == p {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	if v.OK() {
+		return "ok: validity, agreement and termination hold"
+	}
+	parts := make([]string, len(v.Violations))
+	for i, viol := range v.Violations {
+		parts[i] = viol.String()
+	}
+	return "violated: " + strings.Join(parts, "; ")
+}
+
+// Check evaluates validity, agreement and termination over a finished
+// execution.
+func Check(res *sim.Result) Verdict {
+	var verdict Verdict
+
+	correct := res.CorrectSlots()
+
+	// Termination.
+	for _, s := range correct {
+		if res.DecidedAt[s] == 0 {
+			verdict.Violations = append(verdict.Violations, Violation{
+				Property: Termination,
+				Detail: fmt.Sprintf("slot %d (identifier %d) undecided after %d rounds",
+					s, res.Assignment[s], res.Rounds),
+			})
+		}
+	}
+
+	// Agreement.
+	firstVal, firstSlot := hom.NoValue, -1
+	for _, s := range correct {
+		if res.DecidedAt[s] == 0 {
+			continue
+		}
+		if firstSlot < 0 {
+			firstVal, firstSlot = res.Decisions[s], s
+			continue
+		}
+		if res.Decisions[s] != firstVal {
+			verdict.Violations = append(verdict.Violations, Violation{
+				Property: Agreement,
+				Detail: fmt.Sprintf("slot %d decided %d but slot %d decided %d",
+					firstSlot, firstVal, s, res.Decisions[s]),
+			})
+			break
+		}
+	}
+
+	// Validity.
+	unanimous := true
+	var proposed hom.Value = hom.NoValue
+	for i, s := range correct {
+		if i == 0 {
+			proposed = res.Inputs[s]
+		} else if res.Inputs[s] != proposed {
+			unanimous = false
+			break
+		}
+	}
+	if unanimous && len(correct) > 0 {
+		for _, s := range correct {
+			if res.DecidedAt[s] != 0 && res.Decisions[s] != proposed {
+				verdict.Violations = append(verdict.Violations, Violation{
+					Property: Validity,
+					Detail: fmt.Sprintf("all correct processes proposed %d but slot %d decided %d",
+						proposed, s, res.Decisions[s]),
+				})
+				break
+			}
+		}
+	}
+
+	return verdict
+}
+
+// LatestDecisionRound returns the largest decision round among correct
+// slots (0 if none decided) — the execution's decision latency.
+func LatestDecisionRound(res *sim.Result) int {
+	latest := 0
+	for _, s := range res.CorrectSlots() {
+		if res.DecidedAt[s] > latest {
+			latest = res.DecidedAt[s]
+		}
+	}
+	return latest
+}
+
+// DecidedValue returns the common decided value of the correct slots, when
+// at least one decided and agreement holds; otherwise ok is false.
+func DecidedValue(res *sim.Result) (v hom.Value, ok bool) {
+	v = hom.NoValue
+	for _, s := range res.CorrectSlots() {
+		if res.DecidedAt[s] == 0 {
+			continue
+		}
+		if v == hom.NoValue {
+			v = res.Decisions[s]
+		} else if v != res.Decisions[s] {
+			return hom.NoValue, false
+		}
+	}
+	return v, v != hom.NoValue
+}
