@@ -422,3 +422,69 @@ func BenchmarkAblationInnumerate(b *testing.B) {
 		}
 	}
 }
+
+// --- P1: engine hot path (PR 1) --------------------------------------------
+
+// flooder is a maximal-traffic process: it broadcasts a fresh payload
+// every round and never decides, so the bench measures pure engine
+// throughput — send expansion, delivery, inbox construction — across a
+// fixed number of rounds.
+type flooder struct{ id hom.Identifier }
+
+func (f *flooder) Init(ctx sim.Context) { f.id = ctx.ID }
+func (f *flooder) Prepare(round int) []msg.Send {
+	return []msg.Send{msg.Broadcast(msg.Raw(fmt.Sprintf("flood|%d|%d", f.id, round)))}
+}
+func (f *flooder) Receive(int, *msg.Inbox)     {}
+func (f *flooder) Decision() (hom.Value, bool) { return hom.NoValue, false }
+
+// BenchmarkEngineStep measures the all-to-all broadcast round loop of the
+// sequential kernel: n processes, n^2 deliveries per round, 50 rounds per
+// op. The per-round scratch reuse and pooled inboxes make the reported
+// allocs/op essentially the payload construction alone.
+func BenchmarkEngineStep(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			p := hom.Params{N: n, L: n, T: 0, Synchrony: hom.Synchronous}
+			inputs := make([]hom.Value, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := sim.Run(sim.Config{
+					Params:     p,
+					Assignment: hom.RoundRobinAssignment(n, n),
+					Inputs:     inputs,
+					NewProcess: func(int) sim.Process { return &flooder{} },
+					MaxRounds:  50,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatrixGrid compares the sequential cell loop against the
+// exec-scheduled Matrix on the same seeded grid: same cells, same order,
+// multi-core wall clock.
+func BenchmarkMatrixGrid(b *testing.B) {
+	ns, ts := []int{4, 5, 6}, []int{1}
+	suite := solvability.SuiteSize{Assignments: 2, Behaviors: 2}
+	v := solvability.Variants()[0]
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range solvability.GridParams(ns, ts, v) {
+				if _, err := solvability.EvaluateCell(p, suite, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := solvability.Matrix(ns, ts, v, suite, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -17,17 +17,26 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"homonyms/internal/attacks"
 	"homonyms/internal/classical"
+	"homonyms/internal/exec"
 	"homonyms/internal/hom"
 	"homonyms/internal/psynchom"
 	"homonyms/internal/psyncnum"
 	"homonyms/internal/synchom"
 )
+
+// demo is one named lower-bound demonstration writing its narration to w.
+type demo struct {
+	name string
+	fn   func(w io.Writer) error
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -38,54 +47,76 @@ func main() {
 
 func run() error {
 	only := flag.String("only", "", "run a single demonstration: figure4 | figure1 | clones | mirror | ablations")
+	workers := flag.Int("workers", exec.Workers(), "demonstrations to run in parallel")
 	flag.Parse()
 
-	demos := []struct {
-		name string
-		fn   func() error
-	}{
+	all := []demo{
 		{"figure4", figure4},
 		{"figure1", figure1},
 		{"clones", clones},
 		{"mirror", mirror},
 		{"ablations", ablations},
 	}
-	for _, d := range demos {
-		if *only != "" && d.name != *only {
-			continue
-		}
-		fmt.Printf("\n=== %s ===\n", d.name)
-		if err := d.fn(); err != nil {
-			return fmt.Errorf("%s: %w", d.name, err)
+	demos := all[:0:0]
+	for _, d := range all {
+		if *only == "" || d.name == *only {
+			demos = append(demos, d)
 		}
 	}
-	return nil
+	if len(demos) == 0 {
+		return fmt.Errorf("unknown demonstration %q", *only)
+	}
+	// The demonstrations are independent deterministic executions: run them
+	// across the worker pool, buffer each one's narration, and print in the
+	// fixed order above. Failures travel inside the result so a failing
+	// demo's partial narration — and every other demo's output — still
+	// prints before the error is reported.
+	type demoResult struct {
+		out string
+		err error
+	}
+	results, _ := exec.Map(demos, *workers, func(_ int, d demo) (demoResult, error) {
+		var buf bytes.Buffer
+		err := d.fn(&buf)
+		return demoResult{out: buf.String(), err: err}, nil
+	})
+	var firstErr error
+	for i, r := range results {
+		fmt.Printf("\n=== %s ===\n%s", demos[i].name, r.out)
+		if r.err != nil {
+			fmt.Printf("!! %s failed: %v\n", demos[i].name, r.err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", demos[i].name, r.err)
+			}
+		}
+	}
+	return firstErr
 }
 
-func figure4() error {
+func figure4(w io.Writer) error {
 	p := hom.Params{N: 5, L: 4, T: 1, Synchrony: hom.PartiallySynchronous}
-	fmt.Printf("partition attack at %s (2l = %d <= n+3t = %d)\n", p, 2*p.L, p.N+3*p.T)
+	fmt.Fprintf(w, "partition attack at %s (2l = %d <= n+3t = %d)\n", p, 2*p.L, p.N+3*p.T)
 	factory := psynchom.NewUnchecked(p, psynchom.Options{})
 	rep, err := attacks.Partition(p, factory, 12*psynchom.RoundsPerPhase)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("internal execution alpha decided by round %d, beta by round %d\n",
+	fmt.Fprintf(w, "internal execution alpha decided by round %d, beta by round %d\n",
 		rep.AlphaDecidedRound, rep.BetaDecidedRound)
-	fmt.Printf("camp X (input 0): slots %v\ncamp Y (input 1): slots %v\n", rep.XSlots, rep.YSlots)
-	fmt.Printf("gamma verdict: %s\n", rep.Verdict)
+	fmt.Fprintf(w, "camp X (input 0): slots %v\ncamp Y (input 1): slots %v\n", rep.XSlots, rep.YSlots)
+	fmt.Fprintf(w, "gamma verdict: %s\n", rep.Verdict)
 	if !rep.Succeeded() {
 		return fmt.Errorf("attack did not violate agreement")
 	}
-	fmt.Println("==> agreement violated exactly as Proposition 4 predicts")
-	fmt.Println("    (the same algorithm passes every test at n=4 — the paper's anomaly)")
+	fmt.Fprintln(w, "==> agreement violated exactly as Proposition 4 predicts")
+	fmt.Fprintln(w, "    (the same algorithm passes every test at n=4 — the paper's anomaly)")
 	return nil
 }
 
-func figure1() error {
+func figure1(w io.Writer) error {
 	tFaults := 1
 	p := hom.Params{N: 4, L: 3 * tFaults, T: tFaults, Synchrony: hom.Synchronous}
-	fmt.Printf("covering scenario at %s (l = 3t)\n", p)
+	fmt.Fprintf(w, "covering scenario at %s (l = 3t)\n", p)
 	alg, err := classical.NewEIGUnchecked(p.L, p.T, nil)
 	if err != nil {
 		return err
@@ -98,18 +129,18 @@ func figure1() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("covering system of %d processes ran %d rounds\n", len(rep.Decisions), rep.Rounds)
+	fmt.Fprintf(w, "covering system of %d processes ran %d rounds\n", len(rep.Decisions), rep.Rounds)
 	for _, v := range rep.Violations {
-		fmt.Printf("violated obligation: %s\n", v)
+		fmt.Fprintf(w, "violated obligation: %s\n", v)
 	}
 	if !rep.Succeeded() {
 		return fmt.Errorf("no obligation violated")
 	}
-	fmt.Println("==> the three overlapping views cannot all be satisfied (Proposition 1)")
+	fmt.Fprintln(w, "==> the three overlapping views cannot all be satisfied (Proposition 1)")
 	return nil
 }
 
-func clones() error {
+func clones(w io.Writer) error {
 	tFaults := 1
 	alg, err := classical.NewEIG(4, tFaults, nil)
 	if err != nil {
@@ -126,19 +157,19 @@ func clones() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("clone group %v over %d rounds: lockstep = %v\n", rep.CloneSlots, rep.Rounds, rep.Lockstep())
+	fmt.Fprintf(w, "clone group %v over %d rounds: lockstep = %v\n", rep.CloneSlots, rep.Rounds, rep.Lockstep())
 	if !rep.Lockstep() {
 		return fmt.Errorf("clones diverged: %s", rep.Detail)
 	}
-	fmt.Println("==> innumerate + restricted homonym groups collapse to single processes,")
-	fmt.Println("    reducing l <= 3t homonym systems to n = l <= 3t classical ones (Theorem 19)")
+	fmt.Fprintln(w, "==> innumerate + restricted homonym groups collapse to single processes,")
+	fmt.Fprintln(w, "    reducing l <= 3t homonym systems to n = l <= 3t classical ones (Theorem 19)")
 	return nil
 }
 
-func mirror() error {
+func mirror(w io.Writer) error {
 	p := hom.Params{N: 8, L: 2, T: 2, Synchrony: hom.Synchronous,
 		Numerate: true, RestrictedByzantine: true}
-	fmt.Printf("mirror experiment at %s (l = t)\n", p)
+	fmt.Fprintf(w, "mirror experiment at %s (l = t)\n", p)
 	factory := psyncnum.NewUnchecked(p)
 	assignment := hom.RoundRobinAssignment(8, 2)
 	baseInputs := []hom.Value{0, 0, 0, 0, 1, 1, 1, 1}
@@ -146,17 +177,17 @@ func mirror() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("flipped slot %d, byzantine twin slot %d\n", rep.FlippedSlot, rep.TwinSlot)
-	fmt.Printf("indistinguishable to everyone else: %v\n", rep.Indistinguishable)
+	fmt.Fprintf(w, "flipped slot %d, byzantine twin slot %d\n", rep.FlippedSlot, rep.TwinSlot)
+	fmt.Fprintf(w, "indistinguishable to everyone else: %v\n", rep.Indistinguishable)
 	if !rep.Indistinguishable {
 		return fmt.Errorf("indistinguishability failed: %s", rep.Detail)
 	}
-	fmt.Println("==> a Byzantine twin erases single-input differences (Lemma 17);")
-	fmt.Println("    iterating this across input flips contradicts validity (Proposition 16)")
+	fmt.Fprintln(w, "==> a Byzantine twin erases single-input differences (Lemma 17);")
+	fmt.Fprintln(w, "    iterating this across input flips contradicts validity (Proposition 16)")
 	return nil
 }
 
-func ablations() error {
+func ablations(w io.Writer) error {
 	full, err := attacks.SplitLock(psynchom.Options{}, 1, 14*psynchom.RoundsPerPhase)
 	if err != nil {
 		return err
@@ -165,13 +196,13 @@ func ablations() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("A1 vote superround — conflicting-ack phases: full=%v, no-vote=%v\n",
+	fmt.Fprintf(w, "A1 vote superround — conflicting-ack phases: full=%v, no-vote=%v\n",
 		full.ConflictPhases, ablated.ConflictPhases)
 	if !full.LemmaEightHolds() || ablated.LemmaEightHolds() {
 		return fmt.Errorf("vote-superround ablation did not behave as expected")
 	}
-	fmt.Println("==> without votes, one equivocating leader makes correct processes ack")
-	fmt.Println("    conflicting values in the same phase (Lemma 8 breaks)")
+	fmt.Fprintln(w, "==> without votes, one equivocating leader makes correct processes ack")
+	fmt.Fprintln(w, "    conflicting values in the same phase (Lemma 8 breaks)")
 
 	const l = 6
 	maxRounds := psynchom.RoundsPerPhase * (3*l + 6)
@@ -183,12 +214,12 @@ func ablations() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("A2 decide relay — decision spread: with relay %d phases, without %d phases\n",
+	fmt.Fprintf(w, "A2 decide relay — decision spread: with relay %d phases, without %d phases\n",
 		withRelay.SpreadPhases, withoutRelay.SpreadPhases)
 	if withoutRelay.SpreadPhases <= withRelay.SpreadPhases {
 		return fmt.Errorf("relay ablation did not widen the decision spread")
 	}
-	fmt.Println("==> the decide relay collapses termination latency from Θ(l) leader")
-	fmt.Println("    rotations to O(1) phases after the first decision")
+	fmt.Fprintln(w, "==> the decide relay collapses termination latency from Θ(l) leader")
+	fmt.Fprintln(w, "    rotations to O(1) phases after the first decision")
 	return nil
 }

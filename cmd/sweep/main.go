@@ -1,6 +1,8 @@
 // Command sweep runs the performance parameter sweeps behind the
 // benchmark harness and prints figure-style series: decision latency and
-// message cost of each algorithm as n, ℓ, t and GST vary.
+// message cost of each algorithm as n, ℓ, t and GST vary. The points of a
+// series are independent executions, so each series fans out across
+// exec.Workers() workers and prints in deterministic order.
 //
 // Usage:
 //
@@ -15,6 +17,7 @@ import (
 
 	"homonyms/internal/adversary"
 	"homonyms/internal/core"
+	"homonyms/internal/exec"
 	"homonyms/internal/hom"
 	"homonyms/internal/trace"
 )
@@ -30,9 +33,10 @@ func run() error {
 	series := flag.String("series", "all",
 		"series to print: latency-vs-n | messages-vs-l | latency-vs-gst | numerate-vs-l | all")
 	seed := flag.Int64("seed", 1, "determinism seed")
+	workers := flag.Int("workers", exec.Workers(), "parallel executions per series")
 	flag.Parse()
 
-	runs := map[string]func(int64) error{
+	runs := map[string]func(int64, int) error{
 		"latency-vs-n":   latencyVsN,
 		"messages-vs-l":  messagesVsL,
 		"latency-vs-gst": latencyVsGST,
@@ -43,11 +47,11 @@ func run() error {
 		if !ok {
 			return fmt.Errorf("unknown series %q", *series)
 		}
-		return fn(*seed)
+		return fn(*seed, *workers)
 	}
 	for _, name := range []string{"latency-vs-n", "messages-vs-l", "latency-vs-gst", "numerate-vs-l"} {
 		fmt.Printf("\n=== %s ===\n", name)
-		if err := runs[name](*seed); err != nil {
+		if err := runs[name](*seed, *workers); err != nil {
 			return err
 		}
 	}
@@ -73,9 +77,35 @@ func measure(p hom.Params, gst int, seed int64) (latency, messages int, err erro
 	return trace.LatestDecisionRound(res.Sim), res.Sim.Stats.MessagesDelivered, nil
 }
 
-func latencyVsN(seed int64) error {
+// point is one measured series entry, carried through the worker pool so
+// rows print in input order regardless of completion order. A failed
+// measurement travels in err so the successfully measured rows of a
+// series still print before the failure is reported.
+type point struct {
+	x, y, latency, messages int
+	err                     error
+}
+
+// printPoints prints the successfully measured rows in order and returns
+// the lowest-index measurement error, if any.
+func printPoints(points []point, print func(point)) error {
+	var firstErr error
+	for _, pt := range points {
+		if pt.err != nil {
+			if firstErr == nil {
+				firstErr = pt.err
+			}
+			continue
+		}
+		print(pt)
+	}
+	return firstErr
+}
+
+func latencyVsN(seed int64, workers int) error {
 	fmt.Println("Figure-5 algorithm (psync, t=1, l chosen minimal solvable): latency vs n")
 	fmt.Printf("%6s %6s %10s %12s\n", "n", "l", "rounds", "messages")
+	var params []hom.Params
 	for n := 4; n <= 12; n++ {
 		l := (n+3)/2 + 1 // smallest l with 2l > n+3t for t=1
 		if l > n {
@@ -85,33 +115,36 @@ func latencyVsN(seed int64) error {
 		if !p.Solvable() {
 			continue
 		}
-		lat, msgs, err := measure(p, 1, seed)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%6d %6d %10d %12d\n", n, l, lat, msgs)
+		params = append(params, p)
 	}
-	return nil
+	points, _ := exec.Map(params, workers, func(_ int, p hom.Params) (point, error) {
+		lat, msgs, err := measure(p, 1, seed)
+		return point{x: p.N, y: p.L, latency: lat, messages: msgs, err: err}, nil
+	})
+	return printPoints(points, func(pt point) {
+		fmt.Printf("%6d %6d %10d %12d\n", pt.x, pt.y, pt.latency, pt.messages)
+	})
 }
 
-func messagesVsL(seed int64) error {
+func messagesVsL(seed int64, workers int) error {
 	fmt.Println("T(EIG) (sync, n=9, t=1): cost vs identifier count l")
 	fmt.Printf("%6s %10s %12s\n", "l", "rounds", "messages")
-	for l := 4; l <= 9; l++ {
+	points, _ := exec.MapN(6, workers, func(i int) (point, error) {
+		l := 4 + i
 		p := hom.Params{N: 9, L: l, T: 1, Synchrony: hom.Synchronous}
 		lat, msgs, err := measure(p, 1, seed)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%6d %10d %12d\n", l, lat, msgs)
-	}
-	return nil
+		return point{x: l, latency: lat, messages: msgs, err: err}, nil
+	})
+	return printPoints(points, func(pt point) {
+		fmt.Printf("%6d %10d %12d\n", pt.x, pt.latency, pt.messages)
+	})
 }
 
-func latencyVsGST(seed int64) error {
+func latencyVsGST(seed int64, workers int) error {
 	fmt.Println("Figure-5 algorithm (psync, n=6, l=5, t=1): decision latency vs GST")
 	fmt.Printf("%6s %10s\n", "gst", "rounds")
-	for _, gst := range []int{1, 9, 17, 33, 49} {
+	gsts := []int{1, 9, 17, 33, 49}
+	points, _ := exec.Map(gsts, workers, func(_ int, gst int) (point, error) {
 		p := hom.Params{N: 6, L: 5, T: 1, Synchrony: hom.PartiallySynchronous}
 		inputs := make([]hom.Value, p.N)
 		for i := range inputs {
@@ -124,27 +157,29 @@ func latencyVsGST(seed int64) error {
 		}
 		res, err := core.Run(core.Config{Params: p, Inputs: inputs, Adversary: adv, GST: gst})
 		if err != nil {
-			return err
+			return point{err: err}, nil
 		}
 		if !res.Verdict.OK() {
-			return fmt.Errorf("gst=%d: %s", gst, res.Verdict)
+			return point{err: fmt.Errorf("gst=%d: %s", gst, res.Verdict)}, nil
 		}
-		fmt.Printf("%6d %10d\n", gst, trace.LatestDecisionRound(res.Sim))
-	}
-	return nil
+		return point{x: gst, latency: trace.LatestDecisionRound(res.Sim)}, nil
+	})
+	return printPoints(points, func(pt point) {
+		fmt.Printf("%6d %10d\n", pt.x, pt.latency)
+	})
 }
 
-func numerateVsL(seed int64) error {
+func numerateVsL(seed int64, workers int) error {
 	fmt.Println("Figure-7 algorithm (numerate, restricted, n=7, t=2): works down to l = t+1")
 	fmt.Printf("%6s %10s %12s\n", "l", "rounds", "messages")
-	for l := 3; l <= 7; l++ {
+	points, _ := exec.MapN(5, workers, func(i int) (point, error) {
+		l := 3 + i
 		p := hom.Params{N: 7, L: l, T: 2, Synchrony: hom.PartiallySynchronous,
 			Numerate: true, RestrictedByzantine: true}
 		lat, msgs, err := measure(p, 1, seed)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%6d %10d %12d\n", l, lat, msgs)
-	}
-	return nil
+		return point{x: l, latency: lat, messages: msgs, err: err}, nil
+	})
+	return printPoints(points, func(pt point) {
+		fmt.Printf("%6d %10d %12d\n", pt.x, pt.latency, pt.messages)
+	})
 }

@@ -8,7 +8,6 @@
 //
 // The public entry point is internal/core (algorithm selection per the
 // paper's Table 1 and execution assembly); internal/hom holds the model
-// types. See README.md for the architecture overview, DESIGN.md for the
-// system inventory and per-experiment index, and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// types. See README.md for the architecture overview and the performance
+// model, and BENCH_PR*.json for the recorded perf trajectory.
 package homonyms

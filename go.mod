@@ -1,0 +1,3 @@
+module homonyms
+
+go 1.24

@@ -1,0 +1,108 @@
+// Package exec is a deterministic worker-pool scheduler for the
+// experiment drivers. The simulation kernel is strictly sequential and
+// seed-deterministic; what parallelises is the layer above it — thousands
+// of independent sim.Run/core.Run executions behind a solvability matrix,
+// an attack suite or a parameter sweep. exec fans those across
+// GOMAXPROCS-bounded workers while keeping results in input order, so a
+// parallel run is byte-identical to a sequential one.
+//
+// Determinism contract: fn must be a pure function of its index/item (all
+// drivers here derive their RNGs from explicit seeds, so this holds by
+// construction). Every item runs exactly once, even after another item has
+// failed — cancellation would make the set of executed items timing
+// dependent — and the error returned is always the lowest-index one.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the default worker count: one per available CPU.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// MapN runs fn(i) for every i in [0, n) on at most `workers` goroutines
+// (0 or negative selects Workers()) and returns the results indexed by i.
+// If any invocation fails, the lowest-index error is returned and the
+// results are nil.
+func MapN[R any](n, workers int, fn func(i int) (R, error)) ([]R, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]R, n)
+	if workers == 1 {
+		// Same contract as the pooled path: every item runs even after a
+		// failure, and the lowest-index error wins.
+		var firstErr error
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			results[i] = r
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return results, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Map applies fn to every item on a bounded worker pool and returns the
+// results in input order. See MapN for the scheduling and error contract.
+func Map[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([]R, error) {
+	return MapN(len(items), workers, func(i int) (R, error) {
+		return fn(i, items[i])
+	})
+}
+
+// Grid runs fn over the row-major cross product
+// {0..rows-1} x {0..cols-1} and returns the results as a rows x cols
+// matrix. The cells are scheduled like MapN over rows*cols items, so grid
+// evaluation saturates the pool even when rows < workers.
+func Grid[R any](rows, cols, workers int, fn func(r, c int) (R, error)) ([][]R, error) {
+	flat, err := MapN(rows*cols, workers, func(i int) (R, error) {
+		return fn(i/cols, i%cols)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]R, rows)
+	for r := 0; r < rows; r++ {
+		out[r] = flat[r*cols : (r+1)*cols : (r+1)*cols]
+	}
+	return out, nil
+}

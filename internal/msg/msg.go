@@ -6,10 +6,20 @@
 // Authentication is enforced by the simulation engine, not by the payloads:
 // every delivered message carries the true identifier of its sender's slot,
 // which a Byzantine process cannot forge (paper §2).
+//
+// Canonical keys are the unit of message identity and dominate the
+// simulator's hot path, so they are computed once per message: the engine
+// stamps deliveries through NewMessage/NewMessageKeyed, which cache the key
+// inside the Message value, and every Inbox operation afterwards is a plain
+// map lookup with no string building. Inboxes themselves can be pooled
+// (NewPooledInbox/Recycle) so steady-state rounds allocate almost nothing.
 package msg
 
 import (
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 
 	"homonyms/internal/hom"
 )
@@ -29,14 +39,49 @@ type Payload interface {
 // Message is a payload stamped with its sender's authenticated identifier.
 // The receiver learns nothing else about the sender: two homonyms are
 // indistinguishable.
+//
+// Messages built through NewMessage or NewMessageKeyed carry their
+// canonical key precomputed; composite literals still work and fall back to
+// computing the key on demand.
 type Message struct {
 	ID   hom.Identifier
 	Body Payload
+
+	// key caches the canonical (identifier, payload) key. Empty for
+	// literal-constructed messages; Key() recomputes in that case.
+	key string
+}
+
+// NewMessage stamps body with id and precomputes the canonical key.
+func NewMessage(id hom.Identifier, body Payload) Message {
+	return Message{ID: id, Body: body, key: messageKey(id, body.Key())}
+}
+
+// NewMessageKeyed is NewMessage for callers that already hold body.Key()
+// (the engine computes it once per send and reuses it across recipients).
+func NewMessageKeyed(id hom.Identifier, body Payload, bodyKey string) Message {
+	return Message{ID: id, Body: body, key: messageKey(id, bodyKey)}
 }
 
 // Key returns the canonical key of the (identifier, payload) pair.
 func (m Message) Key() string {
-	return "id=" + itoa(int(m.ID)) + "|" + m.Body.Key()
+	if m.key != "" {
+		return m.key
+	}
+	return messageKey(m.ID, m.Body.Key())
+}
+
+// messageKey builds "id=<id>|<bodyKey>" in a single allocation.
+func messageKey(id hom.Identifier, bodyKey string) string {
+	var digits [20]byte
+	d := strconv.AppendInt(digits[:0], int64(id), 10)
+	var sb strings.Builder
+	sb.Grow(len("id=") + len(d) + 1 + len(bodyKey))
+	sb.WriteString("id=")
+	sb.Write(d)
+	sb.WriteByte('|')
+	sb.WriteString(bodyKey)
+	return sb.String()
 }
 
 // TargetKind selects the destination set of a correct process's send.
@@ -96,108 +141,184 @@ type Delivered struct {
 // (identifier, payload) pairs collapse and Count always returns 1.
 // For a numerate receiver it behaves as a multiset and Count returns the
 // number of copies received.
+//
+// The distinct messages are kept sorted by (identifier, payload key) at
+// insertion time, so no per-round sort pass is needed and every accessor
+// that used to allocate (DistinctIdentifiers, FromIdentifier) can work
+// straight off the sorted slice.
 type Inbox struct {
 	numerate bool
-	order    []Message      // distinct messages in deterministic order
-	counts   map[string]int // message key -> multiplicity (numerate only)
+	order    []Message      // distinct messages, sorted by (ID, body key)
+	counts   map[string]int // message key -> multiplicity
+	total    int            // sum of multiplicities
+	pooled   bool
 }
 
 // NewInbox builds an inbox with the requested reception semantics from the
-// raw delivered messages. The raw order does not matter: the inbox sorts
-// distinct messages by (identifier, payload key) for determinism.
+// raw delivered messages. The raw order does not matter: distinct messages
+// are kept sorted by (identifier, payload key) for determinism.
 func NewInbox(numerate bool, raw []Message) *Inbox {
-	in := &Inbox{numerate: numerate, counts: make(map[string]int, len(raw))}
-	index := make(map[string]int, len(raw))
-	for _, m := range raw {
-		k := m.Key()
-		if _, ok := index[k]; !ok {
-			index[k] = len(in.order)
-			in.order = append(in.order, m)
-		}
-		in.counts[k]++
-	}
-	if !numerate {
-		for k := range in.counts {
-			in.counts[k] = 1
-		}
-	}
-	sort.Slice(in.order, func(i, j int) bool {
-		if in.order[i].ID != in.order[j].ID {
-			return in.order[i].ID < in.order[j].ID
-		}
-		return in.order[i].Body.Key() < in.order[j].Body.Key()
-	})
+	in := &Inbox{}
+	in.fill(numerate, raw)
 	return in
+}
+
+// inboxPool recycles inbox shells (the struct, its sorted buffer and its
+// count map) across rounds.
+var inboxPool = sync.Pool{New: func() any { return new(Inbox) }}
+
+// NewPooledInbox is NewInbox backed by a recycled shell. The caller owns
+// the inbox until it calls Recycle; afterwards the inbox and every slice
+// returned by its accessors are invalid. The simulation engines use this
+// for the per-round inboxes they hand to Process.Receive, which must not
+// retain them past the call.
+func NewPooledInbox(numerate bool, raw []Message) *Inbox {
+	in := inboxPool.Get().(*Inbox)
+	in.pooled = true
+	in.fill(numerate, raw)
+	return in
+}
+
+// Recycle resets the inbox and returns it to the pool. Only inboxes from
+// NewPooledInbox are returned; calling Recycle on a plain inbox is a no-op
+// so engine code can recycle unconditionally.
+func (in *Inbox) Recycle() {
+	if !in.pooled {
+		return
+	}
+	clear(in.counts)
+	clear(in.order) // drop payload references so the pool retains no garbage
+	in.order = in.order[:0]
+	in.total = 0
+	in.pooled = false
+	inboxPool.Put(in)
+}
+
+// fill (re)builds the inbox contents from raw deliveries.
+func (in *Inbox) fill(numerate bool, raw []Message) {
+	in.numerate = numerate
+	in.total = 0
+	if in.counts == nil {
+		in.counts = make(map[string]int, len(raw))
+	}
+	if cap(in.order) < len(raw) {
+		in.order = make([]Message, 0, len(raw))
+	}
+	for _, m := range raw {
+		if m.key == "" {
+			m.key = messageKey(m.ID, m.Body.Key())
+		}
+		in.total++
+		if c := in.counts[m.key]; c > 0 {
+			if numerate {
+				in.counts[m.key] = c + 1
+			} else {
+				in.total--
+			}
+			continue
+		}
+		in.counts[m.key] = 1
+		in.insert(m)
+	}
+}
+
+// insert places m into the sorted order buffer (binary search + shift; the
+// keys are already cached so comparisons are cheap, and per-round inboxes
+// are small).
+func (in *Inbox) insert(m Message) {
+	pos := sort.Search(len(in.order), func(i int) bool {
+		if in.order[i].ID != m.ID {
+			return in.order[i].ID > m.ID
+		}
+		// Equal identifiers render identical "id=<id>|" prefixes, so
+		// comparing full cached keys orders by payload key.
+		return in.order[i].key > m.key
+	})
+	in.order = append(in.order, Message{})
+	copy(in.order[pos+1:], in.order[pos:])
+	in.order[pos] = m
 }
 
 // Numerate reports the reception semantics of the inbox.
 func (in *Inbox) Numerate() bool { return in.numerate }
 
 // Messages returns the distinct messages received this round, sorted by
-// (identifier, payload key). Callers must not mutate the slice.
+// (identifier, payload key). Callers must not mutate the slice and must
+// not retain it past Receive when the inbox is engine-owned.
 func (in *Inbox) Messages() []Message { return in.order }
 
 // Count returns the multiplicity of the given message. Innumerate inboxes
-// report at most 1. A message never received reports 0.
+// report at most 1. A message never received reports 0. For messages
+// obtained from the inbox itself (Messages, FromIdentifier) this is a
+// single map lookup with no key rebuilding.
 func (in *Inbox) Count(m Message) int { return in.counts[m.Key()] }
 
 // TotalCount returns the total number of message copies received
 // (distinct messages for an innumerate inbox).
-func (in *Inbox) TotalCount() int {
-	total := 0
-	for _, c := range in.counts {
-		total += c
-	}
-	return total
-}
+func (in *Inbox) TotalCount() int { return in.total }
 
 // Len returns the number of distinct messages.
 func (in *Inbox) Len() int { return len(in.order) }
 
 // FromIdentifier returns the distinct messages carrying the given sender
-// identifier, in deterministic order.
+// identifier, in deterministic order. The result is a view into the
+// inbox's sorted buffer: callers must not mutate or retain it.
 func (in *Inbox) FromIdentifier(id hom.Identifier) []Message {
-	var out []Message
-	for _, m := range in.order {
-		if m.ID == id {
-			out = append(out, m)
-		}
+	lo := sort.Search(len(in.order), func(i int) bool { return in.order[i].ID >= id })
+	hi := lo
+	for hi < len(in.order) && in.order[hi].ID == id {
+		hi++
 	}
-	return out
+	if lo == hi {
+		return nil
+	}
+	return in.order[lo:hi]
 }
 
 // DistinctIdentifiers returns the sorted identifiers from which the
 // receiver got at least one message satisfying pred. A nil pred matches
 // every message.
 func (in *Inbox) DistinctIdentifiers(pred func(Message) bool) []hom.Identifier {
-	seen := make(map[hom.Identifier]bool)
+	var out []hom.Identifier
 	for _, m := range in.order {
-		if pred == nil || pred(m) {
-			seen[m.ID] = true
+		if pred != nil && !pred(m) {
+			continue
+		}
+		if len(out) == 0 || out[len(out)-1] != m.ID {
+			out = append(out, m.ID)
 		}
 	}
-	out := make([]hom.Identifier, 0, len(seen))
-	for id := range seen {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // CountDistinctIdentifiers returns the number of distinct identifiers with
 // at least one message satisfying pred.
 func (in *Inbox) CountDistinctIdentifiers(pred func(Message) bool) int {
-	return len(in.DistinctIdentifiers(pred))
+	count := 0
+	last := hom.Identifier(0)
+	for _, m := range in.order {
+		if pred != nil && !pred(m) {
+			continue
+		}
+		if count == 0 || m.ID != last {
+			count++
+			last = m.ID
+		}
+	}
+	return count
 }
 
 // CountCopies returns the total number of copies, over all sender
 // identifiers, of messages satisfying pred. On an innumerate inbox this
 // degenerates to the number of distinct matching messages.
 func (in *Inbox) CountCopies(pred func(Message) bool) int {
+	if pred == nil {
+		return in.total
+	}
 	total := 0
 	for _, m := range in.order {
-		if pred == nil || pred(m) {
-			total += in.counts[m.Key()]
+		if pred(m) {
+			total += in.counts[m.key]
 		}
 	}
 	return total

@@ -168,6 +168,16 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 		}
 	}
 
+	// Per-round scratch, allocated once and reused across rounds — the
+	// same allocation discipline as the sequential kernel.
+	correctSends := make(map[int][]msg.Send, liveWorkers)
+	byzSends := make([][]msg.TargetedSend, n)
+	raw := make([][]msg.Message, n)
+	perRecipient := make([]int, n)
+	inboxes := make([]*msg.Inbox, n)
+	var deliveries []msg.Delivered
+	var view sim.View
+
 	for round := 1; round <= cfg.MaxRounds; round++ {
 		res.Rounds = round
 
@@ -177,7 +187,7 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 				w.prepare <- prepareReq{round: round}
 			}
 		}
-		correctSends := make(map[int][]msg.Send, liveWorkers)
+		clear(correctSends)
 		for i := 0; i < liveWorkers; i++ {
 			resp := <-prepareOut
 			if len(resp.sends) > 0 {
@@ -186,9 +196,8 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 		}
 
 		// Phase 2: Byzantine sends.
-		byzSends := make(map[int][]msg.TargetedSend, len(corrupted))
 		if cfg.Adversary != nil && len(corrupted) > 0 {
-			view := &sim.View{
+			view = sim.View{
 				Params:       cfg.Params,
 				Assignment:   res.Assignment,
 				Inputs:       res.Inputs,
@@ -196,15 +205,18 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 				CorrectSends: correctSends,
 			}
 			for _, s := range corrupted {
-				byzSends[s] = cfg.Adversary.Sends(round, s, view)
+				byzSends[s] = cfg.Adversary.Sends(round, s, &view)
 			}
 		}
 
 		// Phase 3: routing — identical rules to the sequential kernel.
-		raw := make([][]msg.Message, n)
-		var deliveries []msg.Delivered
+		for to := 0; to < n; to++ {
+			raw[to] = raw[to][:0]
+		}
+		deliveries = deliveries[:0]
 		dropsOK := dropsAllowed(round)
-		deliver := func(from, to int, body msg.Payload) {
+		record := cfg.RecordTraffic || observer != nil
+		deliver := func(from, to int, m msg.Message, keyLen int) {
 			res.Stats.MessagesSent++
 			if !visible(from, to) {
 				return
@@ -213,13 +225,12 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 				res.Stats.MessagesDropped++
 				return
 			}
-			m := msg.Message{ID: cfg.Assignment[from], Body: body}
 			if !isBad[to] {
 				raw[to] = append(raw[to], m)
 			}
 			res.Stats.MessagesDelivered++
-			res.Stats.PayloadBytes += len(body.Key())
-			if cfg.RecordTraffic || observer != nil {
+			res.Stats.PayloadBytes += keyLen
+			if record {
 				deliveries = append(deliveries, msg.Delivered{Round: round, FromSlot: from, ToSlot: to, Msg: m})
 			}
 		}
@@ -228,22 +239,31 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 				continue
 			}
 			for _, snd := range correctSends[from] {
+				bodyKey := snd.Body.Key()
+				m := msg.NewMessageKeyed(cfg.Assignment[from], snd.Body, bodyKey)
 				switch snd.Kind {
 				case msg.ToAll:
 					for to := 0; to < n; to++ {
-						deliver(from, to, snd.Body)
+						deliver(from, to, m, len(bodyKey))
 					}
 				case msg.ToIdentifier:
 					for to := 0; to < n; to++ {
 						if cfg.Assignment[to] == snd.To {
-							deliver(from, to, snd.Body)
+							deliver(from, to, m, len(bodyKey))
 						}
 					}
 				}
 			}
 		}
 		for _, from := range corrupted {
-			perRecipient := make(map[int]int, n)
+			if len(byzSends[from]) == 0 {
+				continue
+			}
+			if cfg.Params.RestrictedByzantine {
+				for i := range perRecipient {
+					perRecipient[i] = 0
+				}
+			}
 			for _, ts := range byzSends[from] {
 				if ts.ToSlot < 0 || ts.ToSlot >= n || ts.Body == nil {
 					continue
@@ -255,14 +275,20 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 					}
 					perRecipient[ts.ToSlot]++
 				}
-				deliver(from, ts.ToSlot, ts.Body)
+				bodyKey := ts.Body.Key()
+				deliver(from, ts.ToSlot, msg.NewMessageKeyed(cfg.Assignment[from], ts.Body, bodyKey), len(bodyKey))
 			}
+			byzSends[from] = nil
 		}
 
-		// Phase 4: fan out inboxes, gather decisions.
+		// Phase 4: fan out inboxes, gather decisions. Every Receive has
+		// returned before its worker reports a decision, so the inboxes can
+		// be recycled once all decisions are in.
 		for _, w := range workers {
 			if w != nil {
-				w.receive <- receiveReq{round: round, inbox: msg.NewInbox(cfg.Params.Numerate, raw[w.slot])}
+				in := msg.NewPooledInbox(cfg.Params.Numerate, raw[w.slot])
+				inboxes[w.slot] = in
+				w.receive <- receiveReq{round: round, inbox: in}
 			}
 		}
 		for i := 0; i < liveWorkers; i++ {
@@ -270,6 +296,12 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 			if res.DecidedAt[d.slot] == 0 && d.decided {
 				res.Decisions[d.slot] = d.value
 				res.DecidedAt[d.slot] = round
+			}
+		}
+		for s, in := range inboxes {
+			if in != nil {
+				in.Recycle()
+				inboxes[s] = nil
 			}
 		}
 

@@ -62,7 +62,10 @@ type Process interface {
 	Init(ctx Context)
 	// Prepare returns the sends for the given round (1-based).
 	Prepare(round int) []msg.Send
-	// Receive delivers the round's inbox.
+	// Receive delivers the round's inbox. The inbox is engine-owned
+	// scratch, recycled as soon as Receive returns: implementations must
+	// copy out anything they keep and must not retain the inbox or any
+	// slice it exposes (Messages, FromIdentifier) past the call.
 	Receive(round int, in *msg.Inbox)
 	// Decision returns the decided value, if any.
 	Decision() (hom.Value, bool)
@@ -70,7 +73,9 @@ type Process interface {
 
 // View is the omniscient adversary's window onto the execution for the
 // current round. CorrectSends exposes the messages correct slots are about
-// to send this round (rushing adversary).
+// to send this round (rushing adversary). The View and its CorrectSends
+// map are engine-owned scratch reused across rounds: adversaries must not
+// retain them past the Sends call.
 type View struct {
 	Params       hom.Params
 	Assignment   hom.Assignment
@@ -97,7 +102,9 @@ type Adversary interface {
 }
 
 // Observer is an optional extension: adversaries that implement it are
-// shown every delivery at the end of each round.
+// shown every delivery at the end of each round. The deliveries slice is
+// engine-owned scratch reused across rounds; observers must copy what
+// they keep.
 type Observer interface {
 	Observe(round int, deliveries []msg.Delivered)
 }
@@ -234,6 +241,17 @@ type engine struct {
 	decidedAt []int
 	res       *Result
 	observer  Observer
+
+	// Per-round scratch, allocated once and reused across rounds so the
+	// steady-state hot path is allocation-free (modulo what processes and
+	// adversaries themselves allocate).
+	correctSends [][]msg.Send         // per sender slot; nil when silent
+	byzSends     [][]msg.TargetedSend // per sender slot; only corrupted used
+	sendsView    map[int][]msg.Send   // the View's CorrectSends, cleared per round
+	raw          [][]msg.Message      // per receiver slot, truncated per round
+	perRecipient []int                // restricted-Byzantine budget counters
+	view         View                 // handed to the adversary each round
+	deliveries   []msg.Delivered      // traffic/observer buffer, truncated per round
 }
 
 func newEngine(cfg Config) (*engine, error) {
@@ -286,6 +304,13 @@ func newEngine(cfg Config) (*engine, error) {
 		Decisions:  e.decisions,
 		DecidedAt:  e.decidedAt,
 	}
+	e.correctSends = make([][]msg.Send, n)
+	e.byzSends = make([][]msg.TargetedSend, n)
+	e.raw = make([][]msg.Message, n)
+	e.perRecipient = make([]int, n)
+	if cfg.Adversary != nil && len(e.corrupted) > 0 {
+		e.sendsView = make(map[int][]msg.Send, n)
+	}
 	return e, nil
 }
 
@@ -332,41 +357,50 @@ func (e *engine) allCorrectDecided() bool {
 }
 
 // step executes one round: collect correct sends, ask the adversary for
-// Byzantine sends, deliver, and advance every correct process.
+// Byzantine sends, deliver, and advance every correct process. All round
+// state lives in engine-owned scratch reused across rounds.
 func (e *engine) step(round int) {
 	// Phase 1: correct sends.
-	correctSends := make(map[int][]msg.Send, e.n)
 	for s := 0; s < e.n; s++ {
+		e.correctSends[s] = nil
 		if e.isBad[s] {
 			continue
 		}
-		sends := e.procs[s].Prepare(round)
-		if len(sends) > 0 {
-			correctSends[s] = sends
-		}
+		e.correctSends[s] = e.procs[s].Prepare(round)
 	}
 
 	// Phase 2: Byzantine sends (rushing: the adversary sees phase 1).
-	byzSends := make(map[int][]msg.TargetedSend, len(e.corrupted))
 	if e.cfg.Adversary != nil && len(e.corrupted) > 0 {
-		view := &View{
+		clear(e.sendsView)
+		for s := 0; s < e.n; s++ {
+			if len(e.correctSends[s]) > 0 {
+				e.sendsView[s] = e.correctSends[s]
+			}
+		}
+		e.view = View{
 			Params:       e.cfg.Params,
 			Assignment:   e.res.Assignment,
 			Inputs:       e.res.Inputs,
 			Round:        round,
-			CorrectSends: correctSends,
+			CorrectSends: e.sendsView,
 		}
 		for _, s := range e.corrupted {
-			byzSends[s] = e.cfg.Adversary.Sends(round, s, view)
+			e.byzSends[s] = e.cfg.Adversary.Sends(round, s, &e.view)
 		}
 	}
 
 	// Phase 3: expand, filter, deliver.
-	raw := make([][]msg.Message, e.n) // per receiver
-	var deliveries []msg.Delivered
+	for to := 0; to < e.n; to++ {
+		e.raw[to] = e.raw[to][:0]
+	}
+	deliveries := e.deliveries[:0]
 	dropsOK := e.dropsAllowed(round)
+	record := e.cfg.RecordTraffic || e.observer != nil
 
-	deliver := func(from, to int, body msg.Payload) {
+	// deliver routes one message copy. The Message (with its canonical key)
+	// is built once per send by the callers; keyLen is the sender payload's
+	// key length, accumulated as the bandwidth proxy.
+	deliver := func(from, to int, m msg.Message, keyLen int) {
 		e.res.Stats.MessagesSent++
 		if !e.visible(from, to) {
 			return
@@ -375,13 +409,12 @@ func (e *engine) step(round int) {
 			e.res.Stats.MessagesDropped++
 			return
 		}
-		m := msg.Message{ID: e.cfg.Assignment[from], Body: body}
 		if !e.isBad[to] {
-			raw[to] = append(raw[to], m)
+			e.raw[to] = append(e.raw[to], m)
 		}
 		e.res.Stats.MessagesDelivered++
-		e.res.Stats.PayloadBytes += len(body.Key())
-		if e.cfg.RecordTraffic || e.observer != nil {
+		e.res.Stats.PayloadBytes += keyLen
+		if record {
 			deliveries = append(deliveries, msg.Delivered{Round: round, FromSlot: from, ToSlot: to, Msg: m})
 		}
 	}
@@ -390,45 +423,59 @@ func (e *engine) step(round int) {
 		if e.isBad[from] {
 			continue
 		}
-		for _, s := range correctSends[from] {
+		for _, s := range e.correctSends[from] {
+			bodyKey := s.Body.Key()
+			m := msg.NewMessageKeyed(e.cfg.Assignment[from], s.Body, bodyKey)
 			switch s.Kind {
 			case msg.ToAll:
 				for to := 0; to < e.n; to++ {
-					deliver(from, to, s.Body)
+					deliver(from, to, m, len(bodyKey))
 				}
 			case msg.ToIdentifier:
 				for to := 0; to < e.n; to++ {
 					if e.cfg.Assignment[to] == s.To {
-						deliver(from, to, s.Body)
+						deliver(from, to, m, len(bodyKey))
 					}
 				}
 			}
 		}
 	}
 	for _, from := range e.corrupted {
-		perRecipient := make(map[int]int, e.n)
-		for _, ts := range byzSends[from] {
+		if len(e.byzSends[from]) == 0 {
+			continue
+		}
+		if e.cfg.Params.RestrictedByzantine {
+			for i := range e.perRecipient {
+				e.perRecipient[i] = 0
+			}
+		}
+		for _, ts := range e.byzSends[from] {
 			if ts.ToSlot < 0 || ts.ToSlot >= e.n || ts.Body == nil {
 				continue
 			}
 			if e.cfg.Params.RestrictedByzantine {
-				if perRecipient[ts.ToSlot] >= 1 {
+				if e.perRecipient[ts.ToSlot] >= 1 {
 					e.res.Stats.RestrictedViolations++
 					continue
 				}
-				perRecipient[ts.ToSlot]++
+				e.perRecipient[ts.ToSlot]++
 			}
-			deliver(from, ts.ToSlot, ts.Body)
+			bodyKey := ts.Body.Key()
+			deliver(from, ts.ToSlot, msg.NewMessageKeyed(e.cfg.Assignment[from], ts.Body, bodyKey), len(bodyKey))
 		}
+		e.byzSends[from] = nil
 	}
 
-	// Phase 4: reception and state transitions.
+	// Phase 4: reception and state transitions. Inboxes come from the
+	// shared pool and go straight back once Receive returns (processes must
+	// not retain them — see the Process contract).
 	for to := 0; to < e.n; to++ {
 		if e.isBad[to] {
 			continue
 		}
-		in := msg.NewInbox(e.cfg.Params.Numerate, raw[to])
+		in := msg.NewPooledInbox(e.cfg.Params.Numerate, e.raw[to])
 		e.procs[to].Receive(round, in)
+		in.Recycle()
 		if e.decidedAt[to] == 0 {
 			if v, ok := e.procs[to].Decision(); ok {
 				e.decisions[to] = v
@@ -443,4 +490,5 @@ func (e *engine) step(round int) {
 	if e.observer != nil {
 		e.observer.Observe(round, deliveries)
 	}
+	e.deliveries = deliveries
 }

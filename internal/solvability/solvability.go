@@ -16,6 +16,7 @@ import (
 	"homonyms/internal/attacks"
 	"homonyms/internal/classical"
 	"homonyms/internal/core"
+	"homonyms/internal/exec"
 	"homonyms/internal/hom"
 	"homonyms/internal/psynchom"
 	"homonyms/internal/psyncnum"
@@ -268,10 +269,11 @@ func Variants() []Variant {
 	}
 }
 
-// Matrix evaluates a full (n, t, l) grid for one variant. Cells whose
+// GridParams enumerates the valid cells of a (n, t, l) grid for one
+// variant, in the deterministic order Matrix reports them. Cells whose
 // parameters fail validation (l > n) are skipped.
-func Matrix(ns, ts []int, v Variant, suite SuiteSize, seed int64) ([]*Cell, error) {
-	var out []*Cell
+func GridParams(ns, ts []int, v Variant) []hom.Params {
+	var out []hom.Params
 	for _, n := range ns {
 		for _, t := range ts {
 			for l := 1; l <= n; l++ {
@@ -284,15 +286,22 @@ func Matrix(ns, ts []int, v Variant, suite SuiteSize, seed int64) ([]*Cell, erro
 				if p.Validate() != nil {
 					continue
 				}
-				cell, err := EvaluateCell(p, suite, seed)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, cell)
+				out = append(out, p)
 			}
 		}
 	}
-	return out, nil
+	return out
+}
+
+// Matrix evaluates a full (n, t, l) grid for one variant. The cells are
+// independent deterministic executions, so they are fanned across
+// exec.Workers() workers; the result order (and every cell's content) is
+// identical to a sequential evaluation.
+func Matrix(ns, ts []int, v Variant, suite SuiteSize, seed int64) ([]*Cell, error) {
+	return exec.Map(GridParams(ns, ts, v), exec.Workers(),
+		func(_ int, p hom.Params) (*Cell, error) {
+			return EvaluateCell(p, suite, seed)
+		})
 }
 
 // Consistent reports whether every cell's empirical outcome matches its
