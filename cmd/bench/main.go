@@ -13,6 +13,17 @@
 // Usage:
 //
 //	bench -out BENCH_PR1.json
+//	bench -compare BENCH_PR1.json -tolerance 0.25
+//
+// The -compare mode is the CI regression gate: it reruns the benchmarks
+// and fails (exit 1) when the hot paths regress against the committed
+// baseline by more than the tolerance. Because CI hardware differs from
+// the hardware that produced the baseline, the gate only compares
+// hardware-independent quantities: allocations per op (deterministic),
+// and the improvement *ratios* against the in-process baseline port —
+// both sides of each ratio are measured on the same host in the same
+// process, so the ratio transfers across machines while raw nanoseconds
+// do not.
 package main
 
 import (
@@ -33,11 +44,112 @@ import (
 
 func main() {
 	out := flag.String("out", "BENCH_PR1.json", "output file")
+	compare := flag.String("compare", "", "baseline JSON to gate against instead of writing a record")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed relative regression in -compare mode")
 	flag.Parse()
+	if *compare != "" {
+		failures, err := compareBaseline(*compare, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(2)
+		}
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("bench gate passed")
+		return
+	}
 	if err := run(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
+}
+
+// gatedAllocBenches are the engine/inbox benchmarks whose allocation
+// counts are deterministic and therefore directly comparable across
+// hosts.
+var gatedAllocBenches = []string{
+	"engine_broadcast_50r_n16",
+	"inbox_now_build",
+	"inbox_now_build_pooled_keyed",
+	"inbox_now_count",
+}
+
+// gatedRatios are the derived host-normalised throughput ratios (bigger
+// is better).
+var gatedRatios = []string{
+	"inbox_build_ns_improvement_x",
+	"inbox_count_ns_improvement_x",
+}
+
+// compareBaseline reruns the benchmark suite and returns the list of
+// regressions beyond the tolerance.
+func compareBaseline(path string, tolerance float64) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base record
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	cur, err := collect()
+	if err != nil {
+		return nil, err
+	}
+	var failures []string
+	for _, name := range gatedAllocBenches {
+		b, okB := base.Benchmarks[name]
+		c, okC := cur.Benchmarks[name]
+		if !okB || !okC {
+			failures = append(failures, fmt.Sprintf("%s: missing from baseline=%v current=%v", name, okB, okC))
+			continue
+		}
+		// +1 absorbs rounding on near-zero alloc counts.
+		limit := int64(float64(b.AllocsPerOp)*(1+tolerance)) + 1
+		if c.AllocsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op, baseline %d (limit %d)",
+				name, c.AllocsPerOp, b.AllocsPerOp, limit))
+		}
+	}
+	for _, name := range gatedRatios {
+		b, okB := base.Derived[name]
+		c, okC := cur.Derived[name]
+		if !okB || !okC || b <= 0 {
+			failures = append(failures, fmt.Sprintf("%s: ratio missing or degenerate (baseline %v, current %v)", name, b, c))
+			continue
+		}
+		if c < b*(1-tolerance) {
+			failures = append(failures, fmt.Sprintf("%s: %.2fx, baseline %.2fx (floor %.2fx)",
+				name, c, b, b*(1-tolerance)))
+		}
+	}
+	// Engine throughput, normalised by the in-process baseline inbox
+	// build (same host, same process on both sides; lower is better).
+	baseNorm := norm(base, "engine_broadcast_50r_n16", "inbox_baseline_build")
+	curNorm := norm(*cur, "engine_broadcast_50r_n16", "inbox_baseline_build")
+	if baseNorm <= 0 || curNorm <= 0 {
+		failures = append(failures, "engine_broadcast normalised ratio missing")
+	} else if curNorm > baseNorm*(1+tolerance) {
+		failures = append(failures, fmt.Sprintf("engine_broadcast_50r_n16 normalised: %.2f, baseline %.2f (ceiling %.2f)",
+			curNorm, baseNorm, baseNorm*(1+tolerance)))
+	}
+	fmt.Printf("bench gate: %d alloc benches, %d ratios, engine norm %.2f (baseline %.2f), tolerance %.0f%%\n",
+		len(gatedAllocBenches), len(gatedRatios), curNorm, baseNorm, tolerance*100)
+	return failures, nil
+}
+
+// norm returns rec.Benchmarks[a].NsPerOp / rec.Benchmarks[b].NsPerOp.
+func norm(rec record, a, b string) float64 {
+	x, okA := rec.Benchmarks[a]
+	y, okB := rec.Benchmarks[b]
+	if !okA || !okB || y.NsPerOp == 0 {
+		return 0
+	}
+	return float64(x.NsPerOp) / float64(y.NsPerOp)
 }
 
 // metric is one benchmark result in stable, diffable units.
@@ -72,6 +184,31 @@ type record struct {
 }
 
 func run(out string) error {
+	rec, err := collect()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (inbox allocs %.1fx better, count %.1fx faster, matrix parallel %.2fx on %d workers)\n",
+		out,
+		rec.Derived["inbox_build_allocs_improvement_x"],
+		rec.Derived["inbox_count_ns_improvement_x"],
+		rec.Derived["matrix_parallel_speedup_x"],
+		int(rec.Derived["workers"]))
+	return nil
+}
+
+// collect measures the full benchmark suite in-process.
+func collect() (*record, error) {
 	rec := record{
 		Record:     "BENCH_PR1",
 		Go:         runtime.Version(),
@@ -198,24 +335,7 @@ func run(out string) error {
 		rec.Benchmarks["matrix_sequential"].NsPerOp,
 		rec.Benchmarks["matrix_parallel"].NsPerOp)
 	rec.Derived["workers"] = float64(exec.Workers())
-
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rec); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s (inbox allocs %.1fx better, count %.1fx faster, matrix parallel %.2fx on %d workers)\n",
-		out,
-		rec.Derived["inbox_build_allocs_improvement_x"],
-		rec.Derived["inbox_count_ns_improvement_x"],
-		rec.Derived["matrix_parallel_speedup_x"],
-		int(rec.Derived["workers"]))
-	return nil
+	return &rec, nil
 }
 
 // flooder broadcasts a fresh payload every round and never decides.

@@ -1,0 +1,128 @@
+// Command fuzz drives deterministic scenario-fuzzing campaigns and
+// replays regression seeds.
+//
+// A campaign is a pure function of its seed: scenario i is generated
+// from (seed, i), executions fan out over the worker pool, and the
+// report — including its digest — is byte-identical across runs and
+// worker counts. Real violations (a property broken inside the region
+// the implementation claims) exit non-zero; violations outside the
+// claimed region are the expected lower-bound demonstrations of the
+// paper and can be harvested into replayable JSON seeds.
+//
+// Usage:
+//
+//	fuzz -seed 1 -count 500                  # campaign
+//	fuzz -replay internal/fuzz/testdata      # replay committed seeds
+//	fuzz -seed 1 -count 500 -harvest DIR -harvest-max 3
+//	                                         # write shrunk expected
+//	                                         # violations as seed files
+//
+// Exit status: 0 clean, 1 real violation or replay mismatch, 2 usage or
+// harness error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"homonyms/internal/fuzz"
+)
+
+func main() {
+	var (
+		seed       = flag.Int64("seed", 1, "campaign seed (scenario i is a pure function of seed and i)")
+		count      = flag.Int("count", 500, "number of scenarios to run")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
+		maxN       = flag.Int("maxn", 10, "largest process count to sample")
+		protocols  = flag.String("protocols", "", "comma-separated protocol subset (default: all registered)")
+		shrink     = flag.Bool("shrink", true, "shrink recorded scenarios to minimal counterexamples")
+		out        = flag.String("out", "", "directory to write real-violation seeds into")
+		harvest    = flag.String("harvest", "", "directory to write shrunk expected-violation seeds into")
+		harvestMax = flag.Int("harvest-max", 3, "how many expected violations to harvest")
+		replay     = flag.String("replay", "", "replay every *.json seed in this directory instead of fuzzing")
+		quiet      = flag.Bool("q", false, "print only the digest line and failures")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(replayDir(*replay))
+	}
+
+	cfg := fuzz.Config{
+		Seed:         *seed,
+		Count:        *count,
+		Workers:      *workers,
+		Gen:          fuzz.GenOptions{MaxN: *maxN},
+		Shrink:       *shrink,
+		KeepExpected: *harvestMax,
+	}
+	if *protocols != "" {
+		cfg.Gen.Protocols = strings.Split(*protocols, ",")
+	}
+	rep, err := fuzz.Campaign(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fuzz:", err)
+		os.Exit(2)
+	}
+	if *quiet {
+		fmt.Printf("fuzz campaign seed=%d count=%d digest=%s real=%d errors=%d\n",
+			rep.Seed, rep.Count, rep.Digest, len(rep.Real), len(rep.Errors))
+	} else {
+		fmt.Print(rep.Format())
+	}
+
+	if *out != "" && len(rep.Real) > 0 {
+		if code := writeSeeds(*out, "violation", rep.Real); code != 0 {
+			os.Exit(code)
+		}
+	}
+	if *harvest != "" && len(rep.Expected) > 0 {
+		if code := writeSeeds(*harvest, "expected", rep.Expected); code != 0 {
+			os.Exit(code)
+		}
+	}
+	if len(rep.Real) > 0 || len(rep.Errors) > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeSeeds persists found scenarios (preferring the shrunk form) as
+// replayable seed files named <prefix>-<campaign-index>.json.
+func writeSeeds(dir, prefix string, found []fuzz.Found) int {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "fuzz:", err)
+		return 2
+	}
+	for _, f := range found {
+		o := f.Outcome
+		note := "found by cmd/fuzz; " + o.ClaimsWhy
+		if f.Shrunk != nil {
+			o = f.Shrunk
+			note += " (shrunk)"
+		}
+		name := fmt.Sprintf("%s-%s-%d", prefix, o.Scenario.Protocol, f.Index)
+		path := filepath.Join(dir, name+".json")
+		if err := fuzz.WriteSeed(path, fuzz.NewSeed(name, note, o)); err != nil {
+			fmt.Fprintln(os.Stderr, "fuzz:", err)
+			return 2
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return 0
+}
+
+// replayDir replays a seed corpus and reports mismatches.
+func replayDir(dir string) int {
+	replayed, errs := fuzz.ReplayDir(dir)
+	for _, err := range errs {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+	}
+	fmt.Printf("replayed %d seeds from %s: %d failed\n", replayed, dir, len(errs))
+	if len(errs) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -3,6 +3,24 @@
 // from three orthogonal pieces: which slots to corrupt (Selector), what the
 // corrupted slots send (Behavior), and which messages to suppress before
 // GST (DropPolicy). All pieces are deterministic in their seeds.
+//
+// Randomized pieces draw from math/rand in one of two ways:
+//
+//   - Per-scenario stream: the harness builds one *rand.Rand per scenario
+//     with NewRand and threads it through the scenario's pieces via their
+//     Rand field. The simulation engine is strictly sequential, so draws
+//     happen in a deterministic order; no stream is ever shared across
+//     scenarios, which keeps concurrent fuzz workers deterministic under
+//     the race detector. This is the mode the fuzzer uses.
+//   - Per-call derivation from Seed: the piece hashes (Seed, round, slot)
+//     into a throwaway source on every call. Stateless and call-order
+//     independent; kept for hand-written experiments and as the fallback
+//     when Rand is nil.
+//
+// DropPolicies deliberately never use a sequential stream: a drop decision
+// must be a pure function of (round, from, to) so that shrinking a
+// scenario's round budget or GST cannot retroactively change which early
+// messages were suppressed.
 package adversary
 
 import (
@@ -63,6 +81,11 @@ func (c *Composite) Drop(round, fromSlot, toSlot int) bool {
 	return c.Drops.Drop(round, fromSlot, toSlot)
 }
 
+// NewRand returns the deterministic per-scenario stream shared by one
+// scenario's randomized pieces. Build one per scenario and never share it
+// across scenarios (or across goroutines).
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
 // ---------------------------------------------------------------------------
 // Selectors
 // ---------------------------------------------------------------------------
@@ -109,12 +132,20 @@ func (ids OnePerIdentifier) Select(_ hom.Params, a hom.Assignment, _ []hom.Value
 	return out
 }
 
-// RandomT corrupts T uniformly random slots, deterministically in Seed.
-type RandomT struct{ Seed int64 }
+// RandomT corrupts T uniformly random slots. It draws from the
+// per-scenario Rand stream when one is threaded in, and falls back to a
+// throwaway source derived from Seed otherwise.
+type RandomT struct {
+	Seed int64
+	Rand *rand.Rand
+}
 
 // Select implements Selector.
 func (r RandomT) Select(p hom.Params, _ hom.Assignment, _ []hom.Value) []int {
-	rng := rand.New(rand.NewSource(r.Seed))
+	rng := r.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(r.Seed))
+	}
 	perm := rng.Perm(p.N)
 	out := append([]int(nil), perm[:p.T]...)
 	sort.Ints(out)
@@ -140,12 +171,19 @@ type Crash struct{}
 func (Crash) Sends(int, int, *sim.View) []msg.TargetedSend { return nil }
 
 // Noise sends one random Raw payload to every recipient each round.
-// Deterministic in Seed, round and slot.
-type Noise struct{ Seed int64 }
+// Draws from the per-scenario Rand stream when set; otherwise
+// deterministic in Seed, round and slot.
+type Noise struct {
+	Seed int64
+	Rand *rand.Rand
+}
 
 // Sends implements Behavior.
 func (nz Noise) Sends(round, slot int, view *sim.View) []msg.TargetedSend {
-	rng := rand.New(rand.NewSource(nz.Seed ^ int64(round)<<20 ^ int64(slot)))
+	rng := nz.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(nz.Seed ^ int64(round)<<20 ^ int64(slot)))
+	}
 	out := make([]msg.TargetedSend, 0, view.Params.N)
 	for to := 0; to < view.Params.N; to++ {
 		out = append(out, msg.TargetedSend{
@@ -161,7 +199,10 @@ func (nz Noise) Sends(round, slot int, view *sim.View) []msg.TargetedSend {
 // well-formed but mutually inconsistent protocol messages under the
 // Byzantine slot's identifier. This is the strongest generic behaviour
 // against threshold protocols because every injected payload parses.
-type Equivocate struct{ Seed int64 }
+type Equivocate struct {
+	Seed int64
+	Rand *rand.Rand
+}
 
 // Sends implements Behavior.
 func (e Equivocate) Sends(round, slot int, view *sim.View) []msg.TargetedSend {
@@ -169,7 +210,10 @@ func (e Equivocate) Sends(round, slot int, view *sim.View) []msg.TargetedSend {
 	if len(senders) == 0 {
 		return nil
 	}
-	rng := rand.New(rand.NewSource(e.Seed ^ int64(round)<<18 ^ int64(slot)))
+	rng := e.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(e.Seed ^ int64(round)<<18 ^ int64(slot)))
+	}
 	var out []msg.TargetedSend
 	for to := 0; to < view.Params.N; to++ {
 		src := senders[rng.Intn(len(senders))]
@@ -199,6 +243,77 @@ func (MimicFlood) Sends(round, slot int, view *sim.View) []msg.TargetedSend {
 				if s.Kind == msg.ToAll {
 					out = append(out, msg.TargetedSend{ToSlot: to, Body: s.Body})
 				}
+			}
+		}
+	}
+	return out
+}
+
+// KeyEquivocate equivocates along identifier (key) boundaries: every
+// recipient of one homonym group receives the same copied correct
+// broadcast, but different groups receive broadcasts of different correct
+// slots. Where Equivocate mixes per recipient slot, KeyEquivocate keeps
+// each group internally consistent — which defeats protocols that treat
+// within-group consistency as evidence of an honest sender.
+type KeyEquivocate struct {
+	Seed int64
+	Rand *rand.Rand
+}
+
+// Sends implements Behavior.
+func (e KeyEquivocate) Sends(round, slot int, view *sim.View) []msg.TargetedSend {
+	senders := sortedCorrectSenders(view)
+	if len(senders) == 0 {
+		return nil
+	}
+	rng := e.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(e.Seed ^ int64(round)<<18 ^ int64(slot)))
+	}
+	// One source per identifier, drawn in identifier order so the stream
+	// consumption is deterministic.
+	srcOf := make(map[hom.Identifier]int, view.Params.L)
+	for id := hom.Identifier(1); int(id) <= view.Params.L; id++ {
+		srcOf[id] = senders[rng.Intn(len(senders))]
+	}
+	var out []msg.TargetedSend
+	for to := 0; to < view.Params.N; to++ {
+		src := srcOf[view.Assignment[to]]
+		for _, s := range view.CorrectSends[src] {
+			if s.Kind == msg.ToAll {
+				out = append(out, msg.TargetedSend{ToSlot: to, Body: s.Body})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ValueFlood floods every recipient, every round, with well-formed forged
+// protocol messages for every value in Domain. Make builds the payloads
+// and is protocol-specific (the fuzzer takes it from the target
+// protocol's registry entry); a nil Make or empty Domain sends nothing.
+// Unlike Noise, every injected payload parses, so this exercises the
+// protocols' threshold logic rather than their parsers.
+type ValueFlood struct {
+	Domain []hom.Value
+	Make   func(round int, v hom.Value) []msg.Payload
+}
+
+// Sends implements Behavior.
+func (vf ValueFlood) Sends(round, slot int, view *sim.View) []msg.TargetedSend {
+	if vf.Make == nil {
+		return nil
+	}
+	var out []msg.TargetedSend
+	for _, v := range vf.Domain {
+		payloads := vf.Make(round, v)
+		for to := 0; to < view.Params.N; to++ {
+			for _, pl := range payloads {
+				if pl == nil {
+					continue
+				}
+				out = append(out, msg.TargetedSend{ToSlot: to, Body: pl})
 			}
 		}
 	}
@@ -243,6 +358,30 @@ func (r RandomDrops) Drop(round, from, to int) bool {
 	h := int64(round)*1_000_003 + int64(from)*10_007 + int64(to)
 	rng := rand.New(rand.NewSource(r.Seed ^ h))
 	return rng.Float64() < r.Prob
+}
+
+// TargetedDrops isolates chosen victim slots before GST: it suppresses
+// messages sent to the targets (Inbound), from the targets (Outbound), or
+// both. A targeted partition of a homonym group is the sharpest pre-GST
+// starvation the model allows, since the engine already refuses drops at
+// or after GST and on self-deliveries.
+type TargetedDrops struct {
+	Targets  []int
+	Inbound  bool
+	Outbound bool
+}
+
+// Drop implements DropPolicy.
+func (td TargetedDrops) Drop(_, from, to int) bool {
+	for _, s := range td.Targets {
+		if td.Inbound && s == to {
+			return true
+		}
+		if td.Outbound && s == from {
+			return true
+		}
+	}
+	return false
 }
 
 // PartitionDrops suppresses every message that crosses between groups, as

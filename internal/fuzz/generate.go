@@ -1,0 +1,202 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"homonyms/internal/protoreg"
+)
+
+// GenOptions bounds the generator's sampling space.
+type GenOptions struct {
+	// MaxN caps the process count (default 10).
+	MaxN int
+	// Protocols restricts the targets; empty means every registered one.
+	Protocols []string
+}
+
+func (g GenOptions) maxN() int {
+	if g.MaxN < 2 {
+		return 10
+	}
+	return g.MaxN
+}
+
+func (g GenOptions) protocols() []string {
+	if len(g.Protocols) == 0 {
+		return protoreg.Names()
+	}
+	return g.Protocols
+}
+
+// Generate samples one constructible scenario from the rng. The rng is
+// the scenario's whole source of randomness: the same rng state always
+// yields the same scenario, and the scenario carries its own sub-seeds
+// (AdvSeed, AssignSeed, drop seed) so replaying it needs no rng at all.
+func Generate(rng *rand.Rand, opts GenOptions) Scenario {
+	protos := opts.protocols()
+	name := protos[rng.Intn(len(protos))]
+	proto, _ := protoreg.Get(name)
+
+	var sc Scenario
+	// Rejection-sample a constructible shape; every draw below consumes
+	// the rng even when rejected, so acceptance never depends on how the
+	// rejected shape would have been used.
+	for try := 0; ; try++ {
+		sc = sampleShape(rng, name, opts.maxN())
+		if p := sc.Params(); p.Validate() == nil {
+			if ok, _ := proto.Constructible(p); ok {
+				break
+			}
+		}
+		if try >= 63 {
+			// Fallback: a tuple every registered protocol can run.
+			sc.N, sc.L, sc.T = 4, 4, 1
+			break
+		}
+	}
+
+	// Inputs, assignment and timing.
+	sc.Inputs = make([]int, sc.N)
+	for i := range sc.Inputs {
+		sc.Inputs[i] = rng.Intn(2)
+	}
+	sc.Assignment = [...]string{"roundrobin", "stacked", "random"}[rng.Intn(3)]
+	sc.AssignSeed = rng.Int63()
+	if sc.Psync {
+		sc.GST = 1 + rng.Intn(12)
+	} else {
+		sc.GST = 1
+	}
+	sc.AdvSeed = rng.Int63()
+
+	// Adversary composition.
+	if sc.T == 0 {
+		sc.Selector = SelectorSpec{Kind: "none"}
+	} else {
+		switch rng.Intn(3) {
+		case 0:
+			sc.Selector = SelectorSpec{Kind: "first"}
+		case 1:
+			sc.Selector = SelectorSpec{Kind: "random"}
+		default:
+			k := 1 + rng.Intn(sc.T)
+			seen := map[int]bool{}
+			var slots []int
+			for len(slots) < k {
+				s := rng.Intn(sc.N)
+				if !seen[s] {
+					seen[s] = true
+					slots = append(slots, s)
+				}
+			}
+			sc.Selector = SelectorSpec{Kind: "slots", Slots: sortedCopy(slots)}
+		}
+	}
+
+	kinds := []string{"silent", "crash", "noise", "equivocate", "keyequivocate", "mimicflood"}
+	if proto.Forge != nil {
+		kinds = append(kinds, "valueflood", "valueflood") // double weight: the sharpest generic attack
+	}
+	sc.Behavior = BehaviorSpec{Kind: kinds[rng.Intn(len(kinds))]}
+	if rng.Intn(4) == 0 {
+		sc.Behavior.Until = 1 + rng.Intn(20)
+	}
+
+	sc.Drops = DropSpec{Kind: "none"}
+	if sc.Psync && sc.GST > 1 {
+		switch rng.Intn(3) {
+		case 0:
+		case 1:
+			sc.Drops = DropSpec{Kind: "random", Seed: rng.Int63(), Prob: 0.3 + 0.6*rng.Float64()}
+		default:
+			k := 1 + rng.Intn(2)
+			seen := map[int]bool{}
+			var targets []int
+			for len(targets) < k && len(targets) < sc.N {
+				s := rng.Intn(sc.N)
+				if !seen[s] {
+					seen[s] = true
+					targets = append(targets, s)
+				}
+			}
+			sc.Drops = DropSpec{
+				Kind:     "targeted",
+				Targets:  sortedCopy(targets),
+				Inbound:  rng.Intn(2) == 0,
+				Outbound: rng.Intn(2) == 0,
+			}
+			if !sc.Drops.Inbound && !sc.Drops.Outbound {
+				sc.Drops.Inbound = true
+			}
+		}
+	}
+	return sc
+}
+
+// sampleShape draws (protocol, n, l, t, model flags) with two biases: t
+// concentrates around n/3, and — half the time — l snaps to the
+// protocol's own solvability threshold ±1, the boundary band where
+// classification mistakes would hide (the same band the solvability
+// package's BoundaryParams enumerates for the tests).
+func sampleShape(rng *rand.Rand, name string, maxN int) Scenario {
+	sc := Scenario{Protocol: name}
+	sc.N = 2 + rng.Intn(maxN-1)
+	sc.T = rng.Intn(sc.N/3 + 2)
+	if sc.T >= sc.N {
+		sc.T = sc.N - 1
+	}
+	sc.L = 1 + rng.Intn(sc.N)
+
+	switch name {
+	case "synchom":
+		sc.Psync = false
+		sc.Numerate = rng.Intn(2) == 0
+		sc.Restricted = rng.Intn(2) == 0
+	case "psynchom":
+		sc.Psync = rng.Intn(5) > 0 // mostly the model it is made for
+		sc.Numerate = rng.Intn(4) == 0
+		sc.Restricted = false
+	case "psyncnum":
+		sc.Psync = rng.Intn(2) == 0 // Theorems 14/15 cover both models
+		sc.Numerate = rng.Intn(5) > 0
+		sc.Restricted = rng.Intn(5) > 0
+	case "authbcast":
+		sc.Psync = rng.Intn(2) == 0
+		sc.Numerate = rng.Intn(2) == 0
+		sc.Restricted = rng.Intn(2) == 0
+	case "numbcast":
+		sc.Psync = rng.Intn(2) == 0
+		sc.Numerate = rng.Intn(5) > 0
+		sc.Restricted = rng.Intn(5) > 0
+	default:
+		sc.Psync = rng.Intn(2) == 0
+		sc.Numerate = rng.Intn(2) == 0
+		sc.Restricted = rng.Intn(2) == 0
+	}
+
+	// Boundary bias on the identifier count.
+	if snap := rng.Intn(2) == 0; snap {
+		var crit int
+		switch name {
+		case "synchom", "authbcast":
+			crit = 3*sc.T + 1
+		case "psynchom":
+			crit = (sc.N+3*sc.T)/2 + 1
+		case "psyncnum":
+			crit = sc.T + 1
+		default:
+			crit = 0
+		}
+		if crit > 0 {
+			l := crit - 1 + rng.Intn(3)
+			if l < 1 {
+				l = 1
+			}
+			if l > sc.N {
+				l = sc.N
+			}
+			sc.L = l
+		}
+	}
+	return sc
+}

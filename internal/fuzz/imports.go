@@ -1,0 +1,13 @@
+package fuzz
+
+// Blank imports pull in the registration hooks of every fuzzable
+// protocol: linking the fuzzer links its whole target registry. A new
+// protocol package registers itself in its own register.go and gets one
+// line here.
+import (
+	_ "homonyms/internal/authbcast"
+	_ "homonyms/internal/numbcast"
+	_ "homonyms/internal/psynchom"
+	_ "homonyms/internal/psyncnum"
+	_ "homonyms/internal/synchom"
+)

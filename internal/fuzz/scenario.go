@@ -1,0 +1,372 @@
+// Package fuzz is a deterministic scenario fuzzer for the homonym model:
+// it samples parameter tuples and adversary compositions, runs every
+// registered protocol (package protoreg) through the simulation kernel,
+// checks the target's correctness properties, and classifies failures as
+// either expected lower-bound demonstrations (parameters outside the
+// region the implementation claims, cross-checked against the Table-1
+// characterisation that package solvability reproduces) or real
+// violations that fail CI.
+//
+// Everything is deterministic in the campaign seed: scenario i of a
+// campaign is a pure function of (seed, i), every scenario carries its
+// own sub-seeds, and the per-scenario adversary RNG is threaded through
+// the composed pieces (see package adversary), so campaigns are
+// byte-identical across runs and across worker counts. Failing scenarios
+// serialise to JSON seeds (testdata/) that replay exactly and shrink to
+// minimal counterexamples.
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"homonyms/internal/adversary"
+	"homonyms/internal/hom"
+	"homonyms/internal/msg"
+	"homonyms/internal/protoreg"
+	"homonyms/internal/sim"
+)
+
+// Scenario is one fully specified fuzz execution: parameters, identifier
+// assignment, inputs, round budget and the composed adversary. It is the
+// unit of replay — the JSON encoding below is the regression-seed format.
+type Scenario struct {
+	Protocol   string `json:"protocol"`
+	N          int    `json:"n"`
+	L          int    `json:"l"`
+	T          int    `json:"t"`
+	Psync      bool   `json:"psync,omitempty"`
+	Numerate   bool   `json:"numerate,omitempty"`
+	Restricted bool   `json:"restricted,omitempty"`
+	// Assignment selects the slot-to-identifier map: "roundrobin",
+	// "stacked" or "random" (deterministic in AssignSeed).
+	Assignment string `json:"assignment"`
+	AssignSeed int64  `json:"assign_seed,omitempty"`
+	// Inputs holds one proposal per slot.
+	Inputs []int `json:"inputs"`
+	// GST is the first round with guaranteed delivery; 1 in the
+	// synchronous model.
+	GST int `json:"gst"`
+	// MaxRounds caps the execution; 0 selects the protocol's suggested
+	// budget for the GST.
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// AdvSeed seeds the per-scenario RNG threaded through the randomized
+	// selector/behavior pieces.
+	AdvSeed  int64        `json:"adv_seed,omitempty"`
+	Selector SelectorSpec `json:"selector"`
+	Behavior BehaviorSpec `json:"behavior"`
+	Drops    DropSpec     `json:"drops"`
+}
+
+// SelectorSpec names the corruption selector: "none", "first", "random"
+// or "slots" (explicit Slots list).
+type SelectorSpec struct {
+	Kind  string `json:"kind"`
+	Slots []int  `json:"slots,omitempty"`
+}
+
+// BehaviorSpec names the Byzantine behavior: "silent", "crash", "noise",
+// "equivocate", "keyequivocate", "mimicflood" or "valueflood" (forged
+// protocol payloads from the target's registry entry). Until > 0 wraps
+// the behavior so it stops after that round.
+type BehaviorSpec struct {
+	Kind  string `json:"kind"`
+	Until int    `json:"until,omitempty"`
+}
+
+// DropSpec names the pre-GST drop policy: "none", "random" (per-delivery
+// probability Prob, hash-derived from Seed so decisions are a pure
+// function of (round, from, to)) or "targeted" (isolate Targets).
+type DropSpec struct {
+	Kind     string  `json:"kind"`
+	Seed     int64   `json:"seed,omitempty"`
+	Prob     float64 `json:"prob,omitempty"`
+	Targets  []int   `json:"targets,omitempty"`
+	Inbound  bool    `json:"inbound,omitempty"`
+	Outbound bool    `json:"outbound,omitempty"`
+}
+
+// Params assembles the scenario's model parameters.
+func (sc Scenario) Params() hom.Params {
+	syn := hom.Synchronous
+	if sc.Psync {
+		syn = hom.PartiallySynchronous
+	}
+	return hom.Params{
+		N: sc.N, L: sc.L, T: sc.T,
+		Synchrony:           syn,
+		Numerate:            sc.Numerate,
+		RestrictedByzantine: sc.Restricted,
+	}
+}
+
+// assignment builds the scenario's identifier assignment.
+func (sc Scenario) assignment() (hom.Assignment, error) {
+	switch sc.Assignment {
+	case "roundrobin", "":
+		return hom.RoundRobinAssignment(sc.N, sc.L), nil
+	case "stacked":
+		return hom.StackedAssignment(sc.N, sc.L), nil
+	case "random":
+		return hom.RandomAssignment(sc.N, sc.L, sc.AssignSeed), nil
+	default:
+		return nil, fmt.Errorf("fuzz: unknown assignment kind %q", sc.Assignment)
+	}
+}
+
+// adversaryFor composes the scenario's adversary. The same per-scenario
+// RNG is threaded through the selector and behavior; drop policies stay
+// hash-pure (see the adversary package comment).
+func (sc Scenario) adversaryFor(proto protoreg.Protocol, p hom.Params) (sim.Adversary, error) {
+	rng := adversary.NewRand(sc.AdvSeed)
+
+	var sel adversary.Selector
+	switch sc.Selector.Kind {
+	case "none", "":
+	case "first":
+		sel = adversary.FirstT{}
+	case "random":
+		sel = adversary.RandomT{Rand: rng}
+	case "slots":
+		sel = adversary.Slots(sc.Selector.Slots)
+	default:
+		return nil, fmt.Errorf("fuzz: unknown selector kind %q", sc.Selector.Kind)
+	}
+
+	var beh adversary.Behavior
+	switch sc.Behavior.Kind {
+	case "silent", "":
+		beh = adversary.Silent{}
+	case "crash":
+		beh = adversary.Crash{}
+	case "noise":
+		beh = adversary.Noise{Rand: rng}
+	case "equivocate":
+		beh = adversary.Equivocate{Rand: rng}
+	case "keyequivocate":
+		beh = adversary.KeyEquivocate{Rand: rng}
+	case "mimicflood":
+		beh = adversary.MimicFlood{}
+	case "valueflood":
+		if proto.Forge == nil {
+			beh = adversary.Silent{}
+		} else {
+			forge := proto.Forge
+			beh = adversary.ValueFlood{
+				Domain: p.EffectiveDomain(),
+				Make:   func(round int, v hom.Value) []msg.Payload { return forge(p, round, v) },
+			}
+		}
+	default:
+		return nil, fmt.Errorf("fuzz: unknown behavior kind %q", sc.Behavior.Kind)
+	}
+	if sc.Behavior.Until > 0 {
+		beh = adversary.Until{Round: sc.Behavior.Until, Inner: beh}
+	}
+
+	var drops adversary.DropPolicy
+	switch sc.Drops.Kind {
+	case "none", "":
+	case "random":
+		drops = adversary.RandomDrops{Seed: sc.Drops.Seed, Prob: sc.Drops.Prob}
+	case "targeted":
+		drops = adversary.TargetedDrops{
+			Targets:  sc.Drops.Targets,
+			Inbound:  sc.Drops.Inbound,
+			Outbound: sc.Drops.Outbound,
+		}
+	default:
+		return nil, fmt.Errorf("fuzz: unknown drop kind %q", sc.Drops.Kind)
+	}
+
+	if sel == nil && drops == nil {
+		return nil, nil
+	}
+	return &adversary.Composite{Selector: sel, Behavior: beh, Drops: drops}, nil
+}
+
+// Class is the fuzzer's classification of one execution.
+type Class string
+
+const (
+	// ClassOK: every checked property held.
+	ClassOK Class = "ok"
+	// ClassExpected: a property was violated, but the parameters are
+	// outside the region the implementation claims — a lower-bound
+	// demonstration, not a bug.
+	ClassExpected Class = "expected-violation"
+	// ClassViolation: a property was violated inside the claimed region,
+	// or the registry claimed a region Table 1 calls unsolvable. Real.
+	ClassViolation Class = "VIOLATION"
+	// ClassError: the scenario could not run (invalid parameters,
+	// unconstructible factory, engine error, panic). Generator bugs
+	// surface here; campaigns treat errors as failures of the harness.
+	ClassError Class = "error"
+)
+
+// Outcome reports one scenario execution.
+type Outcome struct {
+	Scenario Scenario `json:"scenario"`
+	Class    Class    `json:"class"`
+	// Claims echoes the registry's claim verdict and reason.
+	Claims    bool   `json:"claims"`
+	ClaimsWhy string `json:"claims_why"`
+	// Solvable echoes Table 1 for the parameters.
+	Solvable bool `json:"solvable"`
+	// Properties lists the violated properties (names), sorted.
+	Properties []string `json:"properties,omitempty"`
+	// Detail is the verdict or error text.
+	Detail string `json:"detail"`
+	// Rounds is the number of simulation rounds executed.
+	Rounds int `json:"rounds"`
+	// Digest is a stable hash of the scenario and everything observable
+	// about its execution; equal digests mean byte-identical runs.
+	Digest string `json:"digest"`
+}
+
+// Run executes one scenario and classifies the result. It never panics:
+// process or engine panics are caught and classified as ClassError, so a
+// campaign survives degenerate corners of the parameter space.
+func Run(sc Scenario) (out *Outcome) {
+	out = &Outcome{Scenario: sc, Class: ClassError}
+	defer func() {
+		if r := recover(); r != nil {
+			out.Class = ClassError
+			out.Detail = fmt.Sprintf("panic: %v", r)
+		}
+		out.Digest = out.digest()
+	}()
+
+	proto, ok := protoreg.Get(sc.Protocol)
+	if !ok {
+		out.Detail = fmt.Sprintf("unknown protocol %q (registered: %v)", sc.Protocol, protoreg.Names())
+		return out
+	}
+	p := sc.Params()
+	if err := p.Validate(); err != nil {
+		out.Detail = "invalid params: " + err.Error()
+		return out
+	}
+	if ok, why := proto.Constructible(p); !ok {
+		out.Detail = "not constructible: " + why
+		return out
+	}
+	out.Claims, out.ClaimsWhy = proto.Claims(p)
+	out.Solvable = p.Solvable()
+	if out.Claims && !out.Solvable && proto.Check == nil {
+		// Agreement targets (plain trace checking) must never claim beyond
+		// the Table-1 region package solvability reproduces; if one does,
+		// the registry itself is the bug. Primitive targets (custom Check)
+		// are exempt: their properties hold in regions where agreement is
+		// unsolvable — authenticated broadcast at l > 3t is exactly what
+		// the paper shows is weaker than agreement's 2l > n+3t.
+		out.Class = ClassViolation
+		out.Detail = fmt.Sprintf("registry claims %q but Table 1 says: %s", out.ClaimsWhy, p.SolvabilityReason())
+		return out
+	}
+
+	a, err := sc.assignment()
+	if err != nil {
+		out.Detail = err.Error()
+		return out
+	}
+	if len(sc.Inputs) != sc.N {
+		out.Detail = fmt.Sprintf("need %d inputs, got %d", sc.N, len(sc.Inputs))
+		return out
+	}
+	inputs := make([]hom.Value, sc.N)
+	for i, v := range sc.Inputs {
+		inputs[i] = hom.Value(v)
+	}
+	adv, err := sc.adversaryFor(proto, p)
+	if err != nil {
+		out.Detail = err.Error()
+		return out
+	}
+	factory, err := proto.New(p)
+	if err != nil {
+		out.Detail = "factory: " + err.Error()
+		return out
+	}
+	procs := make([]sim.Process, sc.N)
+	wrapped := func(slot int) sim.Process {
+		pr := factory(slot)
+		procs[slot] = pr
+		return pr
+	}
+	gst := sc.GST
+	if gst < 1 {
+		gst = 1
+	}
+	maxRounds := sc.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = proto.Rounds(p, gst)
+	}
+	res, err := sim.Run(sim.Config{
+		Params:     p,
+		Assignment: a,
+		Inputs:     inputs,
+		NewProcess: wrapped,
+		Adversary:  adv,
+		GST:        gst,
+		MaxRounds:  maxRounds,
+	})
+	if err != nil {
+		out.Detail = "sim: " + err.Error()
+		return out
+	}
+	out.Rounds = res.Rounds
+	verdict := proto.Verdict(res, procs)
+	out.Detail = verdict.String()
+	for _, prop := range verdict.Properties() {
+		out.Properties = append(out.Properties, prop.String())
+	}
+	switch {
+	case verdict.OK():
+		out.Class = ClassOK
+	case out.Claims:
+		out.Class = ClassViolation
+	default:
+		out.Class = ClassExpected
+	}
+	return out
+}
+
+// digest hashes the scenario and the observable outcome into a stable
+// hex string. Campaign digests fold these in index order, which is what
+// makes "byte-identical across worker counts" checkable.
+func (o *Outcome) digest() string {
+	h := fnv.New64a()
+	enc, _ := json.Marshal(o.Scenario)
+	h.Write(enc)
+	fmt.Fprintf(h, "|%s|%v|%v|%d|%s|%v", o.Class, o.Claims, o.Solvable, o.Rounds, o.Detail, o.Properties)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ViolatesAtLeast reports whether the outcome violates every property in
+// want (by name). Used by the shrinker to preserve the failure mode.
+func (o *Outcome) ViolatesAtLeast(want []string) bool {
+	for _, w := range want {
+		found := false
+		for _, p := range o.Properties {
+			if p == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedCopy returns a sorted copy of the given ints (small helper shared
+// by the generator and shrinker).
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,130 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SeedFile is one committed regression seed: a replayable scenario plus
+// the outcome it must keep reproducing. Seeds live under testdata/ and
+// are replayed by the CI fuzz-smoke job; a replay that drifts in either
+// direction — the violation disappears, a new property breaks, or the
+// classification flips — fails.
+type SeedFile struct {
+	Name string `json:"name"`
+	// Note says why the seed is interesting (which bound it witnesses,
+	// or which bug it regressed).
+	Note     string   `json:"note,omitempty"`
+	Scenario Scenario `json:"scenario"`
+	Expect   Expect   `json:"expect"`
+}
+
+// Expect pins the replay outcome.
+type Expect struct {
+	Class Class `json:"class"`
+	// Properties lists the violated property names, sorted.
+	Properties []string `json:"properties,omitempty"`
+	Claims     bool     `json:"claims"`
+	Solvable   bool     `json:"solvable"`
+	// Digest is informational provenance (the digest at harvest time);
+	// replay does not compare it, so unrelated engine-detail changes do
+	// not invalidate seeds.
+	Digest string `json:"digest,omitempty"`
+}
+
+// NewSeed pins an outcome as a seed file.
+func NewSeed(name, note string, o *Outcome) SeedFile {
+	return SeedFile{
+		Name:     name,
+		Note:     note,
+		Scenario: o.Scenario,
+		Expect: Expect{
+			Class:      o.Class,
+			Properties: append([]string(nil), o.Properties...),
+			Claims:     o.Claims,
+			Solvable:   o.Solvable,
+			Digest:     o.Digest,
+		},
+	}
+}
+
+// WriteSeed writes the seed as indented JSON.
+func WriteSeed(path string, sf SeedFile) error {
+	enc, err := json.MarshalIndent(sf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}
+
+// LoadSeed reads one seed file.
+func LoadSeed(path string) (SeedFile, error) {
+	var sf SeedFile
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return sf, err
+	}
+	if err := json.Unmarshal(raw, &sf); err != nil {
+		return sf, fmt.Errorf("%s: %w", path, err)
+	}
+	return sf, nil
+}
+
+// Replay reruns the seed's scenario and checks the pinned expectation.
+// The returned outcome is always non-nil; err describes the first
+// mismatch.
+func Replay(sf SeedFile) (*Outcome, error) {
+	o := Run(sf.Scenario)
+	if o.Class != sf.Expect.Class {
+		return o, fmt.Errorf("seed %s: class %s, want %s (%s)", sf.Name, o.Class, sf.Expect.Class, o.Detail)
+	}
+	got := append([]string(nil), o.Properties...)
+	want := append([]string(nil), sf.Expect.Properties...)
+	sort.Strings(got)
+	sort.Strings(want)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		return o, fmt.Errorf("seed %s: violated properties [%s], want [%s]",
+			sf.Name, strings.Join(got, ","), strings.Join(want, ","))
+	}
+	if o.Claims != sf.Expect.Claims || o.Solvable != sf.Expect.Solvable {
+		return o, fmt.Errorf("seed %s: claims=%v solvable=%v, want claims=%v solvable=%v",
+			sf.Name, o.Claims, o.Solvable, sf.Expect.Claims, sf.Expect.Solvable)
+	}
+	return o, nil
+}
+
+// ReplayDir replays every *.json seed under dir in sorted order and
+// returns the per-seed errors (nil entries omitted). A missing directory
+// is not an error: a repository starts with no regression seeds.
+func ReplayDir(dir string) (replayed int, errs []error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, []error{err}
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sf, err := LoadSeed(filepath.Join(dir, name))
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		replayed++
+		if _, err := Replay(sf); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return replayed, errs
+}

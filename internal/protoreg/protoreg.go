@@ -1,0 +1,97 @@
+// Package protoreg is the protocol registry behind the scenario fuzzer:
+// every runnable target (the three agreement algorithms and the two
+// authenticated-broadcast primitives) registers itself here from an init
+// hook in its own package, so the fuzzer enumerates targets without
+// hard-coding them.
+//
+// The registry separates three predicates that are usually conflated:
+//
+//   - Constructible: the factory can structurally build processes for the
+//     parameters (thresholds positive, sub-components buildable). The
+//     fuzzer only runs constructible tuples.
+//   - Claims: the implementation claims its correctness properties for
+//     the parameters — the paper's per-algorithm condition, not Table 1's
+//     union. A property violation inside the claimed region is a real
+//     bug; outside it, it is an expected lower-bound demonstration.
+//   - hom.Params.Solvable: Table 1. The fuzzer cross-checks that every
+//     registered claim implies Table-1 solvability, so a registry entry
+//     can never claim more than the paper proves.
+package protoreg
+
+import (
+	"fmt"
+	"sort"
+
+	"homonyms/internal/hom"
+	"homonyms/internal/msg"
+	"homonyms/internal/sim"
+	"homonyms/internal/trace"
+)
+
+// Protocol is one fuzzable target.
+type Protocol struct {
+	// Name is the unique registry key (the package name by convention).
+	Name string
+	// Claims reports whether the implementation claims its correctness
+	// properties for p, with the paper condition as the reason.
+	Claims func(p hom.Params) (bool, string)
+	// Constructible reports whether New can build a runnable factory for
+	// p; the reason names the violated structural constraint.
+	Constructible func(p hom.Params) (bool, string)
+	// New builds the per-slot process factory. It must succeed whenever
+	// Constructible reports true, including outside the claimed region
+	// (probing the unsolvable side is the point of the fuzzer).
+	New func(p hom.Params) (func(slot int) sim.Process, error)
+	// Rounds suggests a round budget sufficient for the protocol to
+	// finish when drops stop at the given GST round.
+	Rounds func(p hom.Params, gst int) int
+	// Check evaluates the target's correctness properties over a finished
+	// execution. procs holds the processes the factory built, indexed by
+	// slot (nil at corrupted slots), so primitive hosts can expose their
+	// accept logs. A nil Check means plain agreement checking:
+	// trace.Check(res).
+	Check func(res *sim.Result, procs []sim.Process) trace.Verdict
+	// Forge builds well-formed protocol payloads carrying the given value
+	// at the given round, for value-flooding adversaries. Nil when the
+	// target has no forgeable wire format.
+	Forge func(p hom.Params, round int, v hom.Value) []msg.Payload
+}
+
+// Verdict applies the target's checker (Check, or trace.Check when nil).
+func (pr Protocol) Verdict(res *sim.Result, procs []sim.Process) trace.Verdict {
+	if pr.Check != nil {
+		return pr.Check(res, procs)
+	}
+	return trace.Check(res)
+}
+
+var registry = map[string]Protocol{}
+
+// Register adds a protocol to the registry. It panics on duplicate or
+// incomplete registrations: both are programming errors in an init hook.
+func Register(p Protocol) {
+	if p.Name == "" || p.Claims == nil || p.Constructible == nil || p.New == nil || p.Rounds == nil {
+		panic(fmt.Sprintf("protoreg: incomplete registration %+v", p))
+	}
+	if _, dup := registry[p.Name]; dup {
+		panic("protoreg: duplicate registration " + p.Name)
+	}
+	registry[p.Name] = p
+}
+
+// Get returns the named protocol.
+func Get(name string) (Protocol, bool) {
+	p, ok := registry[name]
+	return p, ok
+}
+
+// Names returns the registered names in sorted order — the registry is a
+// map, and every fuzzer decision must be deterministic.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

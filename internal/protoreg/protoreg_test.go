@@ -1,0 +1,42 @@
+package protoreg_test
+
+import (
+	"testing"
+
+	"homonyms/internal/protoreg"
+
+	// Pull in every registration hook, as the fuzzer does.
+	_ "homonyms/internal/authbcast"
+	_ "homonyms/internal/numbcast"
+	_ "homonyms/internal/psynchom"
+	_ "homonyms/internal/psyncnum"
+	_ "homonyms/internal/synchom"
+)
+
+// TestAllProtocolsRegistered pins the registry contents: the three
+// agreement algorithms and the two broadcast primitives, in sorted
+// order.
+func TestAllProtocolsRegistered(t *testing.T) {
+	want := []string{"authbcast", "numbcast", "psynchom", "psyncnum", "synchom"}
+	got := protoreg.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	for _, name := range want {
+		p, ok := protoreg.Get(name)
+		if !ok {
+			t.Fatalf("Get(%q) missing", name)
+		}
+		if p.Claims == nil || p.Constructible == nil || p.New == nil || p.Rounds == nil {
+			t.Fatalf("%s: incomplete registration", name)
+		}
+	}
+	if _, ok := protoreg.Get("nope"); ok {
+		t.Fatal("Get accepted an unregistered name")
+	}
+}

@@ -93,8 +93,13 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 		}
 	}
 
+	gst := cfg.GST
+	if gst < 1 {
+		gst = 1
+	}
 	res := &sim.Result{
 		Params:     cfg.Params,
+		GST:        gst,
 		Assignment: cfg.Assignment.Clone(),
 		Inputs:     append([]hom.Value(nil), cfg.Inputs...),
 		Corrupted:  corrupted,

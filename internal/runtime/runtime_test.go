@@ -80,6 +80,9 @@ func TestRuntimeMatchesSimExactly(t *testing.T) {
 			if seqRes.Rounds != conRes.Rounds {
 				t.Fatalf("rounds: sim=%d runtime=%d", seqRes.Rounds, conRes.Rounds)
 			}
+			if seqRes.GST != conRes.GST {
+				t.Fatalf("recorded GST: sim=%d runtime=%d", seqRes.GST, conRes.GST)
+			}
 			if seqRes.Stats != conRes.Stats {
 				t.Fatalf("stats diverged:\nsim:     %+v\nruntime: %+v", seqRes.Stats, conRes.Stats)
 			}

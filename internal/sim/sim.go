@@ -181,6 +181,10 @@ type Result struct {
 	DecidedAt []int
 	// Rounds is the number of rounds executed.
 	Rounds int
+	// GST echoes the effective stabilisation round of the execution
+	// (Config.GST clamped to at least 1), so post-hoc property checkers
+	// can compute stabilised superrounds without a side channel.
+	GST int
 	// AllDecided reports whether every correct slot decided.
 	AllDecided bool
 	Stats      Stats
@@ -296,8 +300,13 @@ func newEngine(cfg Config) (*engine, error) {
 		p.Init(Context{ID: cfg.Assignment[s], Input: cfg.Inputs[s], Params: cfg.Params})
 		e.procs[s] = p
 	}
+	gst := cfg.GST
+	if gst < 1 {
+		gst = 1
+	}
 	e.res = &Result{
 		Params:     cfg.Params,
+		GST:        gst,
 		Assignment: cfg.Assignment.Clone(),
 		Inputs:     append([]hom.Value(nil), cfg.Inputs...),
 		Corrupted:  e.corrupted,

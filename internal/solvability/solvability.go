@@ -293,6 +293,52 @@ func GridParams(ns, ts []int, v Variant) []hom.Params {
 	return out
 }
 
+// BoundaryParams enumerates the tuples straddling the variant's Table-1
+// thresholds for the given process counts: for each n it takes
+// t = floor(n/3) ± 1 (clamped to valid fault bounds) and, for each such t,
+// the identifier counts one below, at, and one above the variant's
+// solvability threshold. These are the cells where a misclassified
+// expectation is most likely, so the fuzzer samples them preferentially
+// and the classification tests sweep them exhaustively.
+func BoundaryParams(ns []int, v Variant) []hom.Params {
+	var out []hom.Params
+	seen := map[string]bool{}
+	add := func(p hom.Params) {
+		if p.Validate() == nil && !seen[p.String()] {
+			seen[p.String()] = true
+			out = append(out, p)
+		}
+	}
+	for _, n := range ns {
+		for _, t := range []int{n/3 - 1, n / 3, n/3 + 1} {
+			if t < 0 || t >= n {
+				continue
+			}
+			// The variant's critical identifier count: l > t for the
+			// numerate+restricted row, l > 3t synchronous, 2l > n+3t
+			// partially synchronous.
+			var crit int
+			switch {
+			case v.Numerate && v.RestrictedByzantine:
+				crit = t + 1
+			case v.Synchrony == hom.Synchronous:
+				crit = 3*t + 1
+			default:
+				crit = (n+3*t)/2 + 1
+			}
+			for _, l := range []int{crit - 1, crit, crit + 1} {
+				add(hom.Params{
+					N: n, L: l, T: t,
+					Synchrony:           v.Synchrony,
+					Numerate:            v.Numerate,
+					RestrictedByzantine: v.RestrictedByzantine,
+				})
+			}
+		}
+	}
+	return out
+}
+
 // Matrix evaluates a full (n, t, l) grid for one variant. The cells are
 // independent deterministic executions, so they are fanned across
 // exec.Workers() workers; the result order (and every cell's content) is

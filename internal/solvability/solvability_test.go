@@ -107,3 +107,29 @@ func TestSmallMatrixConsistent(t *testing.T) {
 		}
 	}
 }
+
+func TestBoundaryParamsStraddleThreshold(t *testing.T) {
+	for _, v := range solvability.Variants() {
+		tuples := solvability.BoundaryParams([]int{7, 10, 13}, v)
+		if len(tuples) == 0 {
+			t.Fatalf("variant %s: no boundary tuples", v.Name)
+		}
+		solvable, unsolvable := 0, 0
+		for _, p := range tuples {
+			if p.Validate() != nil {
+				t.Fatalf("variant %s: invalid tuple %v", v.Name, p)
+			}
+			if p.Solvable() {
+				solvable++
+			} else {
+				unsolvable++
+			}
+		}
+		// The band must actually straddle the threshold: both sides
+		// populated, or the test sweeps nothing interesting.
+		if solvable == 0 || unsolvable == 0 {
+			t.Fatalf("variant %s: boundary band one-sided (%d solvable, %d unsolvable)",
+				v.Name, solvable, unsolvable)
+		}
+	}
+}

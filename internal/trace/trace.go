@@ -12,6 +12,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"homonyms/internal/hom"
@@ -28,6 +29,23 @@ const (
 	Agreement
 	// Termination is property (3), bounded by the round budget.
 	Termination
+
+	// The remaining properties belong to the authenticated-broadcast
+	// primitives (Proposition 6 and Appendix A.3.1) rather than to
+	// agreement itself. The fuzzer's primitive hosts check them directly
+	// and report violations through the same Verdict type so one report
+	// format covers both kinds of target.
+
+	// BroadcastCorrectness: a broadcast performed in a stabilised
+	// superround is accepted by every correct process in that superround.
+	BroadcastCorrectness
+	// BroadcastUnforgeability: no acceptance is attributed to an
+	// identifier whose holders are all correct and never broadcast it
+	// (respectively, with a multiplicity above what its holders support).
+	BroadcastUnforgeability
+	// BroadcastRelay: an acceptance at one correct process is followed by
+	// the same acceptance at every correct process within the relay bound.
+	BroadcastRelay
 )
 
 // String implements fmt.Stringer.
@@ -39,9 +57,27 @@ func (p Property) String() string {
 		return "agreement"
 	case Termination:
 		return "termination"
+	case BroadcastCorrectness:
+		return "bcast-correctness"
+	case BroadcastUnforgeability:
+		return "bcast-unforgeability"
+	case BroadcastRelay:
+		return "bcast-relay"
 	default:
 		return fmt.Sprintf("property(%d)", int(p))
 	}
+}
+
+// ParseProperty is the inverse of Property.String for the named
+// properties; ok is false for unknown names.
+func ParseProperty(s string) (Property, bool) {
+	for _, p := range []Property{Validity, Agreement, Termination,
+		BroadcastCorrectness, BroadcastUnforgeability, BroadcastRelay} {
+		if p.String() == s {
+			return p, true
+		}
+	}
+	return 0, false
 }
 
 // Violation describes one observed property violation.
@@ -69,6 +105,25 @@ func (v Verdict) Has(p Property) bool {
 		}
 	}
 	return false
+}
+
+// Properties returns the distinct violated properties in ascending order.
+func (v Verdict) Properties() []Property {
+	var out []Property
+	for _, viol := range v.Violations {
+		seen := false
+		for _, p := range out {
+			if p == viol.Property {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, viol.Property)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // String implements fmt.Stringer.

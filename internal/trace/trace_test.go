@@ -157,3 +157,29 @@ func TestPropertyStrings(t *testing.T) {
 		t.Fatalf("Violation.String = %q", viol.String())
 	}
 }
+
+func TestBroadcastPropertyNames(t *testing.T) {
+	for _, p := range []trace.Property{trace.Validity, trace.Agreement, trace.Termination,
+		trace.BroadcastCorrectness, trace.BroadcastUnforgeability, trace.BroadcastRelay} {
+		name := p.String()
+		back, ok := trace.ParseProperty(name)
+		if !ok || back != p {
+			t.Fatalf("ParseProperty(%q) = %v, %v", name, back, ok)
+		}
+	}
+	if _, ok := trace.ParseProperty("nonsense"); ok {
+		t.Fatal("ParseProperty accepted nonsense")
+	}
+}
+
+func TestVerdictProperties(t *testing.T) {
+	v := trace.Verdict{Violations: []trace.Violation{
+		{Property: trace.Termination, Detail: "a"},
+		{Property: trace.Agreement, Detail: "b"},
+		{Property: trace.Termination, Detail: "c"},
+	}}
+	got := v.Properties()
+	if len(got) != 2 || got[0] != trace.Agreement || got[1] != trace.Termination {
+		t.Fatalf("Properties() = %v, want [agreement termination]", got)
+	}
+}
