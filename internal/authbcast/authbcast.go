@@ -24,11 +24,17 @@
 //
 // The Broadcaster type is a passive component: a host process (package
 // psynchom) owns the round loop and calls Outgoing/Ingest each round.
+// Its per-round bookkeeping is string-free: every (m, r, i) tuple key is
+// symbolized once in a broadcaster-local intern table whose dense KeyIDs
+// index a flat tuple arena, and distinct-identifier support lives in a
+// shared bitmap arena — no map[string] is touched after the first sight
+// of a tuple, and Release returns the whole table to a pool for the next
+// execution.
 package authbcast
 
 import (
 	"errors"
-	"sort"
+	"sync"
 
 	"homonyms/internal/hom"
 	"homonyms/internal/msg"
@@ -66,23 +72,38 @@ type Accept struct {
 	SR   int
 }
 
-// tupleState tracks one (m, r, i) echo tuple.
+// tupleState tracks one (m, r, i) echo tuple. States live by value in the
+// broadcaster's arena, indexed by the tuple key's dense KeyID; the
+// distinct-identifier support bitmap lives in the shared echoers arena at
+// echoOff (ℓ+1 slots, indexed by identifier).
 type tupleState struct {
 	body     msg.Payload
 	sr       int
 	id       hom.Identifier
-	echoers  map[hom.Identifier]bool // distinct identifiers seen echoing
-	echoing  bool                    // we include the echo in our sends
+	echoOff  int32
+	echoes   int // distinct identifiers seen echoing
+	echoing  bool
 	accepted bool
 }
+
+// table is the recyclable storage of a Broadcaster: the intern table, the
+// tuple arena and the echo bitmap arena grow over one execution and go
+// back to the pool together.
+type table struct {
+	keys    *msg.Interner
+	tuples  []tupleState
+	echoers []bool
+	kb      msg.KeyBuilder
+}
+
+var tablePool = sync.Pool{New: func() any { return &table{keys: msg.NewInterner()} }}
 
 // Broadcaster is the per-process broadcast component. The zero value is
 // not usable; construct with New.
 type Broadcaster struct {
 	l, t    int
-	pending []msg.Payload          // Broadcast bodies queued for the next odd round
-	tuples  map[string]*tupleState // tuple key -> state
-	order   []string               // insertion order of tuple keys (determinism)
+	pending []msg.Payload // Broadcast bodies queued for the next odd round
+	tab     *table
 }
 
 // New returns a broadcaster for a system with l identifiers and at most t
@@ -91,7 +112,29 @@ func New(l, t int) (*Broadcaster, error) {
 	if l <= 3*t {
 		return nil, ErrResilience
 	}
-	return &Broadcaster{l: l, t: t, tuples: make(map[string]*tupleState)}, nil
+	return newBroadcaster(l, t), nil
+}
+
+// newBroadcaster builds a broadcaster without the resilience check (the
+// fuzz host probes below the bound on purpose).
+func newBroadcaster(l, t int) *Broadcaster {
+	tab := tablePool.Get().(*table)
+	tab.keys.Reset()
+	clear(tab.tuples) // drop payload references from the previous run
+	tab.tuples = tab.tuples[:0]
+	tab.echoers = tab.echoers[:0]
+	return &Broadcaster{l: l, t: t, tab: tab}
+}
+
+// Release returns the broadcaster's arena-backed table to the shared pool.
+// The broadcaster is unusable afterwards. Hosts forward sim.Releaser to
+// this method so steady-state experiment grids reuse the tables.
+func (b *Broadcaster) Release() {
+	if b.tab == nil {
+		return
+	}
+	tablePool.Put(b.tab)
+	b.tab = nil
 }
 
 // Superround maps a 1-based round to its 1-based superround.
@@ -111,7 +154,9 @@ func (b *Broadcaster) Broadcast(m msg.Payload) {
 
 // Outgoing returns the broadcast-layer payloads to send in the given
 // round: pending ⟨init⟩ messages if this is an init round, plus every echo
-// obligation accumulated so far ("in all subsequent rounds").
+// obligation accumulated so far ("in all subsequent rounds"). Tuples are
+// scanned in arena order, which is first-sight order and therefore
+// deterministic.
 func (b *Broadcaster) Outgoing(round int) []msg.Payload {
 	var out []msg.Payload
 	if IsInitRound(round) {
@@ -120,8 +165,8 @@ func (b *Broadcaster) Outgoing(round int) []msg.Payload {
 		}
 		b.pending = nil
 	}
-	for _, k := range b.order {
-		ts := b.tuples[k]
+	for i := range b.tab.tuples {
+		ts := &b.tab.tuples[i]
 		if ts.echoing && round > 2*ts.sr-1 {
 			out = append(out, EchoPayload{Body: ts.body, SR: ts.sr, ID: ts.id})
 		}
@@ -130,7 +175,7 @@ func (b *Broadcaster) Outgoing(round int) []msg.Payload {
 }
 
 // Ingest processes the round's inbox and returns the Accept actions newly
-// performed this round, in deterministic order.
+// performed this round, in deterministic (first-sight) order.
 func (b *Broadcaster) Ingest(round int, in *msg.Inbox) []Accept {
 	sr := Superround(round)
 	// ⟨init⟩ messages are only meaningful in the first round of a
@@ -141,29 +186,33 @@ func (b *Broadcaster) Ingest(round int, in *msg.Inbox) []Accept {
 			if !ok || ip.Body == nil {
 				continue
 			}
-			ts := b.tuple(ip.Body, sr, m.ID)
-			ts.echoing = true
+			b.tab.tuples[b.tuple(ip.Body, sr, m.ID)].echoing = true
 		}
 	}
-	// ⟨echo⟩ messages accumulate per-tuple distinct-identifier support.
+	// ⟨echo⟩ messages accumulate per-tuple distinct-identifier support in
+	// the bitmap arena.
 	for _, m := range in.Messages() {
 		ep, ok := m.Body.(EchoPayload)
 		if !ok || ep.Body == nil || ep.SR < 1 || ep.SR > sr || !ep.ID.IsValid(b.l) {
 			continue
 		}
-		ts := b.tuple(ep.Body, ep.SR, ep.ID)
-		ts.echoers[m.ID] = true
+		if !m.ID.IsValid(b.l) {
+			continue
+		}
+		ts := &b.tab.tuples[b.tuple(ep.Body, ep.SR, ep.ID)]
+		if seen := &b.tab.echoers[int(ts.echoOff)+int(m.ID)]; !*seen {
+			*seen = true
+			ts.echoes++
+		}
 	}
-	// Threshold checks (cumulative over all rounds).
+	// Threshold checks (cumulative over all rounds), in arena order.
 	var accepts []Accept
-	keys := append([]string(nil), b.order...)
-	sort.Strings(keys)
-	for _, k := range keys {
-		ts := b.tuples[k]
-		if len(ts.echoers) >= b.l-2*b.t {
+	for i := range b.tab.tuples {
+		ts := &b.tab.tuples[i]
+		if ts.echoes >= b.l-2*b.t {
 			ts.echoing = true
 		}
-		if !ts.accepted && len(ts.echoers) >= b.l-b.t {
+		if !ts.accepted && ts.echoes >= b.l-b.t {
 			ts.accepted = true
 			accepts = append(accepts, Accept{ID: ts.id, Body: ts.body, SR: ts.sr})
 		}
@@ -171,18 +220,25 @@ func (b *Broadcaster) Ingest(round int, in *msg.Inbox) []Accept {
 	return accepts
 }
 
-// tuple returns (creating if needed) the state of the (m, sr, i) tuple.
-func (b *Broadcaster) tuple(body msg.Payload, sr int, id hom.Identifier) *tupleState {
-	k := EchoPayload{Body: body, SR: sr, ID: id}.Key()
-	if ts, ok := b.tuples[k]; ok {
-		return ts
+// tuple returns the arena index of the (m, sr, i) tuple, creating it on
+// first sight. The tuple key is built in the broadcaster's scratch buffer
+// and interned, so a known tuple costs one hash lookup and no allocation;
+// because this interner sees only tuple keys, the dense KeyID minus one
+// is exactly the arena index.
+func (b *Broadcaster) tuple(body msg.Payload, sr int, id hom.Identifier) int {
+	kid := b.tab.kb.Reset("abecho").Int(sr).Identifier(id).Str(body.Key()).Intern(b.tab.keys)
+	idx := int(kid) - 1
+	if idx < len(b.tab.tuples) {
+		return idx
 	}
-	ts := &tupleState{body: body, sr: sr, id: id, echoers: make(map[hom.Identifier]bool, b.l)}
-	b.tuples[k] = ts
-	b.order = append(b.order, k)
-	return ts
+	off := int32(len(b.tab.echoers))
+	for i := 0; i <= b.l; i++ {
+		b.tab.echoers = append(b.tab.echoers, false)
+	}
+	b.tab.tuples = append(b.tab.tuples, tupleState{body: body, sr: sr, id: id, echoOff: off})
+	return idx
 }
 
 // TupleCount reports the number of tracked tuples (for tests and memory
 // accounting).
-func (b *Broadcaster) TupleCount() int { return len(b.tuples) }
+func (b *Broadcaster) TupleCount() int { return len(b.tab.tuples) }

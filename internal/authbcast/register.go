@@ -44,8 +44,12 @@ var _ sim.Process = (*fuzzHost)(nil)
 // l > 3t check: probing below the bound is the point.
 func (h *fuzzHost) Init(ctx sim.Context) {
 	h.ctx = ctx
-	h.bc = &Broadcaster{l: ctx.Params.L, t: ctx.Params.T, tuples: make(map[string]*tupleState)}
+	h.bc = newBroadcaster(ctx.Params.L, ctx.Params.T)
 }
+
+// Release implements sim.Releaser: the engines call it when the execution
+// ends, returning the broadcaster's arena to the shared pool.
+func (h *fuzzHost) Release() { h.bc.Release() }
 
 // Prepare implements sim.Process.
 func (h *fuzzHost) Prepare(round int) []msg.Send {

@@ -72,6 +72,7 @@ type Algorithm interface {
 // Validation errors shared by the algorithm constructors.
 var (
 	ErrEIGResilience       = errors.New("classical: EIG requires l > 3t")
+	ErrEIGTooLarge         = errors.New("classical: EIG paths must pack into 64 bits (instance infeasibly large)")
 	ErrPhaseKingResilience = errors.New("classical: phase king requires l > 4t")
 	ErrBadDomain           = errors.New("classical: domain must be non-empty with non-negative values")
 	ErrBadFaults           = errors.New("classical: need t >= 0")

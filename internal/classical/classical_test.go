@@ -238,8 +238,8 @@ func TestStateKeysAreCanonical(t *testing.T) {
 }
 
 func TestEIGPayloadCanonicalOrder(t *testing.T) {
-	a := classical.NewEIGPayload(1, []classical.EIGEntry{{Label: "2", Val: 1}, {Label: "1", Val: 0}})
-	b := classical.NewEIGPayload(1, []classical.EIGEntry{{Label: "1", Val: 0}, {Label: "2", Val: 1}})
+	a := classical.NewEIGPayload(1, []classical.EIGEntry{{Label: 2, Val: 1}, {Label: 1, Val: 0}})
+	b := classical.NewEIGPayload(1, []classical.EIGEntry{{Label: 1, Val: 0}, {Label: 2, Val: 1}})
 	if a.Key() != b.Key() {
 		t.Fatal("entry order leaked into payload key")
 	}

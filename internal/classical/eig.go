@@ -1,6 +1,7 @@
 package classical
 
 import (
+	"math/bits"
 	"sort"
 	"strconv"
 	"strings"
@@ -22,9 +23,24 @@ type EIG struct {
 	domain       []hom.Value
 	rounds       int
 	defaultValue hom.Value
+	// idBits is the width of one packed label element (see Label).
+	idBits uint
 }
 
 var _ Algorithm = (*EIG)(nil)
+
+// Label is a packed EIG tree path: a sequence of distinct identifiers,
+// each stored in idBits bits, most-significant element first. The root is
+// the zero Label; extending appends an identifier at the low end.
+// Identifiers are ≥ 1, so every stored element is a non-zero chunk and
+// the level of a label is simply its chunk count. Packing the paths turns
+// the per-round tree bookkeeping (store, contains, well-formedness,
+// resolution) into integer work — no string splitting or concatenation —
+// and the tree itself into integer-keyed storage.
+type Label uint64
+
+// RootLabel is the empty path (the EIG tree root).
+const RootLabel Label = 0
 
 // NewEIG builds an EIG instance for l processes tolerating t faults over
 // the given domain (nil means binary {0,1}).
@@ -60,7 +76,14 @@ func newEIG(l, t int, domain []hom.Value) (*EIG, error) {
 	if err := validateDomain(domain); err != nil {
 		return nil, err
 	}
-	return &EIG{l: l, t: t, domain: domain, rounds: t + 1, defaultValue: domain[0]}, nil
+	idBits := uint(bits.Len(uint(l)))
+	if idBits*uint(t+1) > 64 {
+		// A t+1-level path must pack into 64 bits. Instances beyond that
+		// are unreachable in practice: EIG messages are exponential in t,
+		// so such a run would not terminate anyway.
+		return nil, ErrEIGTooLarge
+	}
+	return &EIG{l: l, t: t, domain: domain, rounds: t + 1, defaultValue: domain[0], idBits: idBits}, nil
 }
 
 // Name implements Algorithm.
@@ -77,13 +100,12 @@ func (e *EIG) Faults() int { return e.t }
 func (e *EIG) DecisionRound() int { return e.rounds }
 
 // eigState is the EIG process state: the information-gathering tree plus
-// the decision once resolved. Labels are dot-joined identifier paths
-// ("3" at level 1, "3.5" at level 2, ...); the root is the empty label and
-// is never stored.
+// the decision once resolved. The tree maps packed labels to values; the
+// root is never stored.
 type eigState struct {
 	id      hom.Identifier
 	input   hom.Value
-	tree    map[string]hom.Value
+	tree    map[Label]hom.Value
 	decided hom.Value
 	key     string
 }
@@ -93,11 +115,11 @@ type eigState struct {
 func (s *eigState) Key() string { return s.key }
 
 func (e *EIG) freezeState(s *eigState) *eigState {
-	labels := make([]string, 0, len(s.tree))
+	labels := make([]Label, 0, len(s.tree))
 	for lbl := range s.tree {
 		labels = append(labels, lbl)
 	}
-	sort.Strings(labels)
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
 	var b strings.Builder
 	b.WriteString("eigstate|")
 	b.WriteString(strconv.Itoa(int(s.id)))
@@ -107,7 +129,7 @@ func (e *EIG) freezeState(s *eigState) *eigState {
 	b.WriteString(strconv.Itoa(int(s.decided)))
 	for _, lbl := range labels {
 		b.WriteByte('|')
-		b.WriteString(lbl)
+		b.WriteString(strconv.FormatUint(uint64(lbl), 10))
 		b.WriteByte('=')
 		b.WriteString(strconv.Itoa(int(s.tree[lbl])))
 	}
@@ -120,7 +142,7 @@ func (e *EIG) Init(id hom.Identifier, v hom.Value) State {
 	return e.freezeState(&eigState{
 		id:      id,
 		input:   e.clampValue(v),
-		tree:    map[string]hom.Value{},
+		tree:    map[Label]hom.Value{},
 		decided: hom.NoValue,
 	})
 }
@@ -136,14 +158,14 @@ func (e *EIG) clampValue(v hom.Value) hom.Value {
 
 // EIGEntry is one (label, value) pair of an EIG message.
 type EIGEntry struct {
-	Label string
+	Label Label
 	Val   hom.Value
 }
 
 // EIGPayload carries one frontier level of the sender's EIG tree.
 type EIGPayload struct {
 	Level   int
-	Entries []EIGEntry // sorted by label
+	Entries []EIGEntry // sorted by packed label
 	key     string
 }
 
@@ -156,7 +178,7 @@ func NewEIGPayload(level int, entries []EIGEntry) *EIGPayload {
 	b.WriteString(strconv.Itoa(level))
 	for _, en := range sorted {
 		b.WriteByte('|')
-		b.WriteString(en.Label)
+		b.WriteString(strconv.FormatUint(uint64(en.Label), 10))
 		b.WriteByte('=')
 		b.WriteString(strconv.Itoa(int(en.Val)))
 	}
@@ -175,14 +197,14 @@ func (e *EIG) Message(s State, round int) msg.Payload {
 		return nil
 	}
 	if round == 1 {
-		return NewEIGPayload(0, []EIGEntry{{Label: "", Val: st.input}})
+		return NewEIGPayload(0, []EIGEntry{{Label: RootLabel, Val: st.input}})
 	}
 	var entries []EIGEntry
 	for lbl, v := range st.tree {
-		if labelLevel(lbl) != round-1 {
+		if e.labelLevel(lbl) != round-1 {
 			continue
 		}
-		if labelContains(lbl, st.id) {
+		if e.labelContains(lbl, st.id) {
 			continue
 		}
 		entries = append(entries, EIGEntry{Label: lbl, Val: v})
@@ -202,7 +224,7 @@ func (e *EIG) Transition(s State, round int, received []msg.Message) State {
 	next := &eigState{
 		id:      st.id,
 		input:   st.input,
-		tree:    make(map[string]hom.Value, len(st.tree)+len(received)*4),
+		tree:    make(map[Label]hom.Value, len(st.tree)+len(received)*4),
 		decided: st.decided,
 	}
 	for lbl, v := range st.tree {
@@ -217,12 +239,12 @@ func (e *EIG) Transition(s State, round int, received []msg.Message) State {
 			if !e.wellFormedLabel(en.Label, round-1, m.ID) {
 				continue
 			}
-			child := extendLabel(en.Label, m.ID)
+			child := e.extendLabel(en.Label, m.ID)
 			next.tree[child] = e.clampValue(en.Val)
 		}
 	}
 	if round == e.rounds && next.decided == hom.NoValue {
-		next.decided = e.resolve(next.tree, "")
+		next.decided = e.resolve(next.tree, RootLabel, 0)
 	}
 	return e.freezeState(next)
 }
@@ -237,12 +259,11 @@ func (e *EIG) Decide(s State) hom.Value {
 }
 
 // resolve computes the recursive strict-majority value of the subtree
-// rooted at label: a leaf (level t+1) resolves to its stored value
-// (default if missing); an inner node resolves to the strict majority of
-// its children's resolutions, or the default value when no strict
-// majority exists.
-func (e *EIG) resolve(tree map[string]hom.Value, label string) hom.Value {
-	level := labelLevel(label)
+// rooted at the level-`level` label: a leaf (level t+1) resolves to its
+// stored value (default if missing); an inner node resolves to the strict
+// majority of its children's resolutions, or the default value when no
+// strict majority exists.
+func (e *EIG) resolve(tree map[Label]hom.Value, label Label, level int) hom.Value {
 	if level == e.rounds {
 		if v, ok := tree[label]; ok {
 			return v
@@ -253,11 +274,11 @@ func (e *EIG) resolve(tree map[string]hom.Value, label string) hom.Value {
 	children := 0
 	for j := 1; j <= e.l; j++ {
 		id := hom.Identifier(j)
-		if labelContains(label, id) {
+		if e.labelContains(label, id) {
 			continue
 		}
 		children++
-		counts[e.resolve(tree, extendLabel(label, id))]++
+		counts[e.resolve(tree, e.extendLabel(label, id), level+1)]++
 	}
 	for _, v := range sortedValues(counts) {
 		if 2*counts[v] > children {
@@ -276,51 +297,78 @@ func sortedValues(counts map[hom.Value]int) []hom.Value {
 	return out
 }
 
-// wellFormedLabel checks that lbl is a level-`level` label over distinct
-// valid identifiers, none equal to sender (a process never relays a label
-// containing its own identifier, so such an entry is forged).
-func (e *EIG) wellFormedLabel(lbl string, level int, sender hom.Identifier) bool {
-	if lbl == "" {
-		return level == 0
-	}
-	parts := strings.Split(lbl, ".")
-	if len(parts) != level {
+// wellFormedLabel checks that lbl is a level-`level` packed label over
+// distinct valid identifiers, none equal to sender (a process never
+// relays a label containing its own identifier, so such an entry is
+// forged). Byzantine senders control the raw bits, so residue beyond the
+// declared level is rejected too.
+func (e *EIG) wellFormedLabel(lbl Label, level int, sender hom.Identifier) bool {
+	if level < 0 || uint(level)*e.idBits > 64 {
 		return false
 	}
-	seen := make(map[int]bool, len(parts))
-	for _, p := range parts {
-		id, err := strconv.Atoi(p)
-		if err != nil || id < 1 || id > e.l || seen[id] || hom.Identifier(id) == sender {
+	mask := Label(1)<<e.idBits - 1
+	// Distinctness runs over the already-consumed suffix rather than a
+	// 64-bit seen bitmap: identifiers may exceed 63, and a label has at
+	// most 64/idBits chunks, so the quadratic scan is a handful of
+	// integer compares.
+	rest := lbl
+	for i := 0; i < level; i++ {
+		id := int(rest & mask)
+		rest >>= e.idBits
+		if id < 1 || id > e.l || hom.Identifier(id) == sender {
 			return false
 		}
-		seen[id] = true
+	}
+	if rest != 0 {
+		return false
+	}
+	// Pairwise distinctness of the level chunks.
+	for i := 0; i < level; i++ {
+		ci := (lbl >> (uint(i) * e.idBits)) & mask
+		for j := i + 1; j < level; j++ {
+			if ci == (lbl>>(uint(j)*e.idBits))&mask {
+				return false
+			}
+		}
 	}
 	return true
 }
 
-func labelLevel(lbl string) int {
-	if lbl == "" {
-		return 0
+// labelLevel returns the number of path elements packed in lbl. Valid
+// labels store only identifiers ≥ 1, so every element is a non-zero
+// chunk.
+func (e *EIG) labelLevel(lbl Label) int {
+	level := 0
+	for lbl != 0 {
+		lbl >>= e.idBits
+		level++
 	}
-	return strings.Count(lbl, ".") + 1
+	return level
 }
 
-func labelContains(lbl string, id hom.Identifier) bool {
-	if lbl == "" {
-		return false
-	}
-	want := strconv.Itoa(int(id))
-	for _, p := range strings.Split(lbl, ".") {
-		if p == want {
+// labelContains reports whether the packed path contains id.
+func (e *EIG) labelContains(lbl Label, id hom.Identifier) bool {
+	mask := Label(1)<<e.idBits - 1
+	for lbl != 0 {
+		if hom.Identifier(lbl&mask) == id {
 			return true
 		}
+		lbl >>= e.idBits
 	}
 	return false
 }
 
-func extendLabel(lbl string, id hom.Identifier) string {
-	if lbl == "" {
-		return strconv.Itoa(int(id))
+// extendLabel appends id to the packed path.
+func (e *EIG) extendLabel(lbl Label, id hom.Identifier) Label {
+	return lbl<<e.idBits | Label(id)
+}
+
+// LabelFromPath packs an identifier path (root to leaf) for tests and
+// experiment harnesses.
+func (e *EIG) LabelFromPath(path ...hom.Identifier) Label {
+	lbl := RootLabel
+	for _, id := range path {
+		lbl = e.extendLabel(lbl, id)
 	}
-	return lbl + "." + strconv.Itoa(int(id))
+	return lbl
 }

@@ -9,33 +9,44 @@ import (
 )
 
 func TestLabelHelpers(t *testing.T) {
+	// A 10-identifier instance gives multi-bit chunks, so element
+	// boundaries matter (the packed analogue of "1" not matching inside
+	// "10" in the old dot-joined labels).
+	e, err := NewEIG(10, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tests := []struct {
-		label    string
+		label    Label
 		level    int
 		contains hom.Identifier
 		want     bool
 	}{
-		{"", 0, 1, false},
-		{"3", 1, 3, true},
-		{"3", 1, 1, false},
-		{"3.5", 2, 5, true},
-		{"3.5", 2, 3, true},
-		{"3.5", 2, 4, false},
-		{"10.2", 2, 1, false}, // "1" must not match inside "10"
+		{RootLabel, 0, 1, false},
+		{e.LabelFromPath(3), 1, 3, true},
+		{e.LabelFromPath(3), 1, 1, false},
+		{e.LabelFromPath(3, 5), 2, 5, true},
+		{e.LabelFromPath(3, 5), 2, 3, true},
+		{e.LabelFromPath(3, 5), 2, 4, false},
+		{e.LabelFromPath(10, 2), 2, 1, false}, // 1's bits inside 10's chunk must not match
 	}
 	for _, tc := range tests {
-		if got := labelLevel(tc.label); got != tc.level {
-			t.Errorf("labelLevel(%q) = %d, want %d", tc.label, got, tc.level)
+		if got := e.labelLevel(tc.label); got != tc.level {
+			t.Errorf("labelLevel(%v) = %d, want %d", tc.label, got, tc.level)
 		}
-		if got := labelContains(tc.label, tc.contains); got != tc.want {
-			t.Errorf("labelContains(%q, %d) = %v, want %v", tc.label, tc.contains, got, tc.want)
+		if got := e.labelContains(tc.label, tc.contains); got != tc.want {
+			t.Errorf("labelContains(%v, %d) = %v, want %v", tc.label, tc.contains, got, tc.want)
 		}
 	}
-	if got := extendLabel("", 4); got != "4" {
-		t.Errorf("extendLabel root = %q", got)
+	if got := e.extendLabel(RootLabel, 4); got != e.LabelFromPath(4) {
+		t.Errorf("extendLabel root = %v", got)
 	}
-	if got := extendLabel("4", 2); got != "4.2" {
-		t.Errorf("extendLabel = %q", got)
+	if got := e.extendLabel(e.LabelFromPath(4), 2); got != e.LabelFromPath(4, 2) {
+		t.Errorf("extendLabel = %v", got)
+	}
+	// Distinct paths must pack to distinct labels (injectivity).
+	if e.LabelFromPath(10, 2) == e.LabelFromPath(1, 0, 2) || e.LabelFromPath(2, 1) == e.LabelFromPath(1, 2) {
+		t.Fatal("packed labels collide across distinct paths")
 	}
 }
 
@@ -45,26 +56,54 @@ func TestWellFormedLabel(t *testing.T) {
 		t.Fatal(err)
 	}
 	tests := []struct {
-		label  string
+		label  Label
 		level  int
 		sender hom.Identifier
 		want   bool
 	}{
-		{"", 0, 1, true},
-		{"", 1, 1, false}, // wrong level
-		{"2", 1, 1, true},
-		{"2", 1, 2, false},   // sender relaying its own label
-		{"2.2", 2, 1, false}, // duplicate identifier
-		{"9", 1, 1, false},   // out of range
-		{"x", 1, 1, false},   // junk
-		{"2.3", 2, 1, true},
-		{"2.3", 1, 1, false}, // level mismatch
+		{RootLabel, 0, 1, true},
+		{RootLabel, 1, 1, false}, // wrong level
+		{e.LabelFromPath(2), 1, 1, true},
+		{e.LabelFromPath(2), 1, 2, false},    // sender relaying its own label
+		{e.LabelFromPath(2, 2), 2, 1, false}, // duplicate identifier
+		{Label(0b111), 1, 1, false},          // out-of-range identifier bits (7 > l)
+		{e.LabelFromPath(2, 3), 2, 1, true},
+		{e.LabelFromPath(2, 3), 1, 1, false},                // level mismatch: residue beyond level
+		{e.LabelFromPath(1, 2) | Label(1)<<60, 2, 3, false}, // junk high bits
 	}
 	for _, tc := range tests {
 		if got := e.wellFormedLabel(tc.label, tc.level, tc.sender); got != tc.want {
-			t.Errorf("wellFormedLabel(%q, %d, %d) = %v, want %v",
+			t.Errorf("wellFormedLabel(%v, %d, %d) = %v, want %v",
 				tc.label, tc.level, tc.sender, got, tc.want)
 		}
+	}
+}
+
+func TestWellFormedLabelLargeIdentifiers(t *testing.T) {
+	// Identifiers above 63 must still be checked for duplicates (a
+	// 64-bit seen bitmap would silently wrap). l=100 needs 7 bits per
+	// element; t=2 keeps 7*3 within the packing budget.
+	e, err := NewEIG(100, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.wellFormedLabel(e.LabelFromPath(65, 65), 2, 1) {
+		t.Fatal("duplicate identifier 65 accepted")
+	}
+	if !e.wellFormedLabel(e.LabelFromPath(65, 66), 2, 1) {
+		t.Fatal("distinct large identifiers rejected")
+	}
+}
+
+func TestEIGTooLargeToPack(t *testing.T) {
+	// 37 identifiers need 6 bits per element; 13 levels (t=12) would need
+	// 78 bits. Such instances are computationally unreachable anyway
+	// (exponential messages), so the constructor refuses them.
+	if _, err := NewEIG(37, 12, nil); err != ErrEIGTooLarge {
+		t.Fatalf("NewEIG(37,12) err = %v, want ErrEIGTooLarge", err)
+	}
+	if _, err := NewEIG(28, 9, nil); err != nil {
+		t.Fatalf("NewEIG(28,9) (50 bits) should pack: %v", err)
 	}
 }
 
@@ -73,29 +112,31 @@ func TestEIGResolveMajority(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// t+1 = 2 levels. Children of the root are labels "1".."4"; give
+	// t+1 = 2 levels. Children of the root are labels 1..4; give
 	// three subtrees resolving to 1 and one to 0: the root must resolve
 	// to the strict majority 1.
-	tree := map[string]hom.Value{}
-	for _, root := range []string{"1", "2", "3"} {
+	tree := map[Label]hom.Value{}
+	for _, r := range []hom.Identifier{1, 2, 3} {
+		root := e.LabelFromPath(r)
 		for j := 1; j <= 4; j++ {
 			id := hom.Identifier(j)
-			if labelContains(root, id) {
+			if e.labelContains(root, id) {
 				continue
 			}
-			tree[extendLabel(root, id)] = 1
+			tree[e.extendLabel(root, id)] = 1
 		}
 		tree[root] = 1
 	}
+	four := e.LabelFromPath(4)
 	for j := 1; j <= 4; j++ {
 		id := hom.Identifier(j)
-		if labelContains("4", id) {
+		if e.labelContains(four, id) {
 			continue
 		}
-		tree[extendLabel("4", id)] = 0
+		tree[e.extendLabel(four, id)] = 0
 	}
-	tree["4"] = 0
-	if got := e.resolve(tree, ""); got != 1 {
+	tree[four] = 0
+	if got := e.resolve(tree, RootLabel, 0); got != 1 {
 		t.Fatalf("resolve(root) = %d, want 1", got)
 	}
 }
@@ -106,18 +147,19 @@ func TestEIGResolveDefaultOnTie(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Two subtrees at 0, two at 1: no strict majority, default (0) wins.
-	tree := map[string]hom.Value{}
-	for i, root := range []string{"1", "2", "3", "4"} {
+	tree := map[Label]hom.Value{}
+	for i, r := range []hom.Identifier{1, 2, 3, 4} {
+		root := e.LabelFromPath(r)
 		v := hom.Value(i % 2)
 		for j := 1; j <= 4; j++ {
 			id := hom.Identifier(j)
-			if labelContains(root, id) {
+			if e.labelContains(root, id) {
 				continue
 			}
-			tree[extendLabel(root, id)] = v
+			tree[e.extendLabel(root, id)] = v
 		}
 	}
-	if got := e.resolve(tree, ""); got != 0 {
+	if got := e.resolve(tree, RootLabel, 0); got != 0 {
 		t.Fatalf("resolve on tie = %d, want default 0", got)
 	}
 }
@@ -128,7 +170,7 @@ func TestEIGResolveMissingLeavesDefault(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Empty tree: everything defaults.
-	if got := e.resolve(map[string]hom.Value{}, ""); got != 0 {
+	if got := e.resolve(map[Label]hom.Value{}, RootLabel, 0); got != 0 {
 		t.Fatalf("resolve of empty tree = %d, want 0", got)
 	}
 }
@@ -223,7 +265,7 @@ func TestStateImmutabilityUnderTransition(t *testing.T) {
 	check := func(val uint8) bool {
 		s1 := e.Init(1, hom.Value(val%2))
 		before := s1.Key()
-		payload := NewEIGPayload(0, []EIGEntry{{Label: "", Val: hom.Value(val % 2)}})
+		payload := NewEIGPayload(0, []EIGEntry{{Label: RootLabel, Val: hom.Value(val % 2)}})
 		_ = e.Transition(s1, 1, []msg.Message{{ID: 2, Body: payload}})
 		return s1.Key() == before
 	}

@@ -186,3 +186,20 @@ func TestRunRecoversFromUnknownProtocol(t *testing.T) {
 		t.Fatalf("class = %s, want error", o.Class)
 	}
 }
+
+// TestReplayInternedPathStable replays every committed regression seed
+// twice — the second pass running on intern tables, inboxes and protocol
+// arenas recycled from the first — and checks the verdicts are identical.
+// This is the regression guard for the KeyID symbolization layer: pool
+// recycling between executions must be invisible to outcomes.
+func TestReplayInternedPathStable(t *testing.T) {
+	for pass := 0; pass < 2; pass++ {
+		replayed, errs := ReplayDir("testdata")
+		for _, err := range errs {
+			t.Errorf("pass %d: %v", pass, err)
+		}
+		if replayed < 6 {
+			t.Fatalf("pass %d: replayed %d seeds, want all 6", pass, replayed)
+		}
+	}
+}

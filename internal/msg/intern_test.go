@@ -1,0 +1,210 @@
+package msg
+
+import (
+	"testing"
+
+	"homonyms/internal/hom"
+)
+
+func TestInternerAssignsDenseIDs(t *testing.T) {
+	it := NewInterner()
+	a := it.Intern("alpha")
+	b := it.Intern("beta")
+	if a != 1 || b != 2 {
+		t.Fatalf("ids = %d, %d; want dense 1, 2", a, b)
+	}
+	if got := it.Intern("alpha"); got != a {
+		t.Fatalf("re-intern changed id: %d != %d", got, a)
+	}
+	if it.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", it.Len())
+	}
+	if it.Key(a) != "alpha" || it.Key(b) != "beta" {
+		t.Fatalf("Key round-trip broken: %q, %q", it.Key(a), it.Key(b))
+	}
+	if it.Key(NoKey) != "" || it.Key(99) != "" {
+		t.Fatal("out-of-range Key must return empty")
+	}
+	if it.Lookup("gamma") != NoKey {
+		t.Fatal("Lookup must not intern")
+	}
+	if it.Len() != 2 {
+		t.Fatal("Lookup grew the table")
+	}
+}
+
+func TestInternerResetRestartsIDs(t *testing.T) {
+	it := NewInterner()
+	it.Intern("x")
+	it.Intern("y")
+	it.Reset()
+	if it.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", it.Len())
+	}
+	if got := it.Intern("y"); got != 1 {
+		t.Fatalf("first id after Reset = %d, want 1", got)
+	}
+}
+
+func TestInternBytesAllocationFree(t *testing.T) {
+	it := NewInterner()
+	key := []byte("vote|3|1")
+	it.InternBytes(key)
+	allocs := testing.AllocsPerRun(100, func() {
+		if it.InternBytes(key) != 1 {
+			t.Fatal("wrong id")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("InternBytes of a known key allocated %.1f times, want 0", allocs)
+	}
+}
+
+func TestKeyBuilderInternMatchesString(t *testing.T) {
+	it := NewInterner()
+	kb := NewKey("vote")
+	kid := kb.Int(7).Value(3).Intern(it)
+	if want := NewKey("vote").Int(7).Value(3).String(); it.Key(kid) != want {
+		t.Fatalf("interned %q, String %q", it.Key(kid), want)
+	}
+	// Reset reuses the buffer and must not corrupt previously interned
+	// keys (the interner copied the bytes on first sight).
+	kb.Reset("ack").Int(1).Intern(it)
+	if it.Key(kid) != "vote|7|3" {
+		t.Fatalf("interned key corrupted by builder reuse: %q", it.Key(kid))
+	}
+}
+
+// TestKeyBuilderStrCollisionSafety pins the Str escaping: embedding one
+// canonical key inside another (envelopes, echo tuples carrying payload
+// keys) must never make two structurally different payloads collide.
+func TestKeyBuilderStrCollisionSafety(t *testing.T) {
+	pairs := [][2]string{
+		{NewKey("env").Str("a|b").String(), NewKey("env").Str("a").Str("b").String()},
+		{NewKey("env").Str(`a\`).Str("b").String(), NewKey("env").Str(`a\|b`).String()},
+		{NewKey("env").Str("").Str("x").String(), NewKey("env").Str("|x").String()},
+		{NewKey("env").Str(`\`).String(), NewKey("env").Str(`\\`).String()},
+	}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			t.Fatalf("collision: %q built from distinct field structures", p[0])
+		}
+	}
+	// Plain fields stay readable and unescaped.
+	if got := NewKey("vote").Int(7).Str("x").String(); got != "vote|7|x" {
+		t.Fatalf("plain Str mangled: %q", got)
+	}
+}
+
+func TestMessageInterningSharesKeys(t *testing.T) {
+	it := NewInterner()
+	m1 := NewMessageInterned(it, 3, Raw("payload"))
+	m2 := NewMessageKeyedInterned(it, 3, Raw("payload"), Raw("payload").Key())
+	if m1.KeyID() == NoKey || m1.KeyID() != m2.KeyID() {
+		t.Fatalf("same message interned to %d and %d", m1.KeyID(), m2.KeyID())
+	}
+	if m1.Key() != NewMessage(3, Raw("payload")).Key() {
+		t.Fatalf("interned key %q diverges from canonical %q", m1.Key(), NewMessage(3, Raw("payload")).Key())
+	}
+	if m3 := NewMessageInterned(it, 4, Raw("payload")); m3.KeyID() == m1.KeyID() {
+		t.Fatal("different identifiers shared a KeyID")
+	}
+}
+
+// TestInboxInternedMatchesLegacy checks the two inbox modes agree on
+// counts, totals and membership for the same deliveries.
+func TestInboxInternedMatchesLegacy(t *testing.T) {
+	for _, numerate := range []bool{false, true} {
+		it := NewInterner()
+		bodies := []Raw{"a", "b", "a", "c", "a", "b"}
+		ids := []hom.Identifier{2, 1, 2, 3, 1, 1}
+		var interned, legacy []Message
+		for i := range bodies {
+			interned = append(interned, NewMessageInterned(it, ids[i], bodies[i]))
+			legacy = append(legacy, Message{ID: ids[i], Body: bodies[i]})
+		}
+		a := NewInbox(numerate, interned)
+		b := NewInbox(numerate, legacy)
+		if a.Len() != b.Len() || a.TotalCount() != b.TotalCount() {
+			t.Fatalf("numerate=%v: len/total diverge: (%d,%d) vs (%d,%d)",
+				numerate, a.Len(), a.TotalCount(), b.Len(), b.TotalCount())
+		}
+		for _, m := range b.Messages() {
+			if a.Count(m) != b.Count(m) {
+				t.Fatalf("numerate=%v: count of %q diverges: %d vs %d",
+					numerate, m.Key(), a.Count(m), b.Count(m))
+			}
+		}
+		for _, m := range a.Messages() {
+			if a.Count(m) != b.Count(Message{ID: m.ID, Body: m.Body}) {
+				t.Fatalf("interned count lookup diverges for %q", m.Key())
+			}
+		}
+		if got, want := a.CountDistinctIdentifiers(nil), b.CountDistinctIdentifiers(nil); got != want {
+			t.Fatalf("distinct identifiers diverge: %d vs %d", got, want)
+		}
+	}
+}
+
+// TestInternedInboxZeroAlloc pins the tentpole's steady-state property:
+// filling a pooled inbox from interned deliveries (the engine path)
+// allocates nothing once the count array has grown.
+func TestInternedInboxZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; zero-alloc only holds in normal builds")
+	}
+	it := NewInterner()
+	arena := make([]Message, 0, 16)
+	var idx []int32
+	for s := 0; s < 16; s++ {
+		arena = append(arena, NewMessageInterned(it, hom.Identifier(s%8+1), Raw("propose|"+itoa(s%8+1))))
+		idx = append(idx, int32(s))
+	}
+	// Warm the pool and the dense count array.
+	NewPooledInboxIndexed(true, arena, idx).Recycle()
+	allocs := testing.AllocsPerRun(200, func() {
+		in := NewPooledInboxIndexed(true, arena, idx)
+		if in.Len() == 0 {
+			t.Fatal("empty inbox")
+		}
+		if in.Messages()[0].ID == 0 {
+			t.Fatal("bad order")
+		}
+		in.Recycle()
+	})
+	if allocs != 0 {
+		t.Fatalf("interned pooled inbox path allocated %.1f times per round, want 0", allocs)
+	}
+}
+
+func TestIndexedInboxHonoursIndices(t *testing.T) {
+	it := NewInterner()
+	arena := []Message{
+		NewMessageInterned(it, 1, Raw("x")),
+		NewMessageInterned(it, 2, Raw("y")),
+		NewMessageInterned(it, 3, Raw("z")),
+	}
+	// Receiver got two copies of arena[1] and one of arena[0]; arena[2]
+	// was dropped.
+	in := NewPooledInboxIndexed(true, arena, []int32{1, 0, 1})
+	defer in.Recycle()
+	if in.Len() != 2 || in.TotalCount() != 3 {
+		t.Fatalf("len=%d total=%d, want 2, 3", in.Len(), in.TotalCount())
+	}
+	if got := in.Count(arena[1]); got != 2 {
+		t.Fatalf("Count(y) = %d, want 2", got)
+	}
+	if got := in.Count(arena[2]); got != 0 {
+		t.Fatalf("Count(z) = %d, want 0 (dropped)", got)
+	}
+}
+
+func TestInternerSnapshot(t *testing.T) {
+	it := NewInterner()
+	it.Intern("one")
+	it.Intern("two")
+	snap := it.Snapshot()
+	if len(snap) != 2 || snap[0] != "one" || snap[1] != "two" {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+}

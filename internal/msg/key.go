@@ -2,68 +2,92 @@ package msg
 
 import (
 	"strconv"
-	"strings"
 
 	"homonyms/internal/hom"
 )
 
 // KeyBuilder helps payload types produce canonical keys with a uniform
-// tag|field1|field2 layout. It is a thin wrapper over strings.Builder so
-// payload Key methods stay short and consistent.
+// tag|field1|field2 layout. It builds into a reusable byte buffer, so a
+// long-lived builder (protocol scratch) can rebuild keys every round
+// without allocating, and Intern can symbolize a key without ever
+// materialising the string when it is already known.
 type KeyBuilder struct {
-	b strings.Builder
+	buf []byte
 }
 
 // NewKey starts a key with the payload's type tag, e.g. "propose".
 func NewKey(tag string) *KeyBuilder {
 	kb := &KeyBuilder{}
-	kb.b.WriteString(tag)
+	return kb.Reset(tag)
+}
+
+// Reset restarts the builder on a new tag, keeping the backing buffer.
+// Protocol hot paths hold one KeyBuilder as scratch and Reset it per key.
+func (kb *KeyBuilder) Reset(tag string) *KeyBuilder {
+	kb.buf = append(kb.buf[:0], tag...)
 	return kb
 }
 
 // Int appends an integer field.
 func (kb *KeyBuilder) Int(v int) *KeyBuilder {
-	kb.b.WriteByte('|')
-	kb.b.WriteString(strconv.Itoa(v))
+	kb.buf = append(kb.buf, '|')
+	kb.buf = strconv.AppendInt(kb.buf, int64(v), 10)
 	return kb
 }
 
 // Value appends a hom.Value field (NoValue renders as "_").
 func (kb *KeyBuilder) Value(v hom.Value) *KeyBuilder {
-	kb.b.WriteByte('|')
+	kb.buf = append(kb.buf, '|')
 	if v == hom.NoValue {
-		kb.b.WriteByte('_')
+		kb.buf = append(kb.buf, '_')
 	} else {
-		kb.b.WriteString(strconv.Itoa(int(v)))
+		kb.buf = strconv.AppendInt(kb.buf, int64(v), 10)
 	}
 	return kb
 }
 
 // Values appends a sorted value-set field, e.g. "{0,1}".
 func (kb *KeyBuilder) Values(vs hom.ValueSet) *KeyBuilder {
-	kb.b.WriteByte('|')
-	kb.b.WriteString(vs.String())
+	kb.buf = append(kb.buf, '|')
+	kb.buf = append(kb.buf, vs.String()...)
 	return kb
 }
 
 // Identifier appends an identifier field.
 func (kb *KeyBuilder) Identifier(id hom.Identifier) *KeyBuilder {
-	kb.b.WriteByte('|')
-	kb.b.WriteString(strconv.Itoa(int(id)))
+	kb.buf = append(kb.buf, '|')
+	kb.buf = strconv.AppendInt(kb.buf, int64(id), 10)
 	return kb
 }
 
-// Str appends a raw string field. The caller must ensure the string does
-// not make two distinct payloads collide (protocol payloads here only use
-// fixed tags and numeric fields, so this is safe in practice).
+// Str appends a raw string field. Field separators and escapes inside s
+// are escaped ('|' as `\|`, '\' as `\\`), so embedding one canonical key
+// inside another (envelopes, echo tuples) cannot make two distinct
+// payloads collide: the field boundary structure stays unambiguous.
 func (kb *KeyBuilder) Str(s string) *KeyBuilder {
-	kb.b.WriteByte('|')
-	kb.b.WriteString(s)
+	kb.buf = append(kb.buf, '|')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '|', '\\':
+			kb.buf = append(kb.buf, '\\', c)
+		default:
+			kb.buf = append(kb.buf, c)
+		}
+	}
 	return kb
 }
 
-// String finalises the key.
-func (kb *KeyBuilder) String() string { return kb.b.String() }
+// String finalises the key as a fresh string.
+func (kb *KeyBuilder) String() string { return string(kb.buf) }
+
+// Bytes exposes the key bytes built so far. The slice aliases the
+// builder's scratch: it is valid only until the next Reset.
+func (kb *KeyBuilder) Bytes() []byte { return kb.buf }
+
+// Intern symbolizes the built key in it without allocating when the key
+// is already known; a first sight interns a fresh copy. This is the
+// string-free path protocol tables use every round.
+func (kb *KeyBuilder) Intern(it *Interner) KeyID { return it.InternBytes(kb.buf) }
 
 // Raw is a generic opaque payload used by tests and Byzantine strategies
 // that need to inject arbitrary bytes.

@@ -8,11 +8,13 @@
 // which a Byzantine process cannot forge (paper §2).
 //
 // Canonical keys are the unit of message identity and dominate the
-// simulator's hot path, so they are computed once per message: the engine
-// stamps deliveries through NewMessage/NewMessageKeyed, which cache the key
-// inside the Message value, and every Inbox operation afterwards is a plain
-// map lookup with no string building. Inboxes themselves can be pooled
-// (NewPooledInbox/Recycle) so steady-state rounds allocate almost nothing.
+// simulator's hot path, so they are computed once per message and then
+// symbolized: a per-execution Interner maps each canonical key to a dense
+// KeyID at message construction (NewMessageInterned/NewMessageKeyedInterned),
+// and every Inbox operation afterwards — dedup, copy counting, sorted
+// insertion — compares and indexes integers instead of hashing strings.
+// Inboxes themselves can be pooled (NewPooledInbox/Recycle) so steady-state
+// rounds allocate nothing at all on the interned path.
 package msg
 
 import (
@@ -41,8 +43,10 @@ type Payload interface {
 // indistinguishable.
 //
 // Messages built through NewMessage or NewMessageKeyed carry their
-// canonical key precomputed; composite literals still work and fall back to
-// computing the key on demand.
+// canonical key precomputed; the engines build them through the interning
+// variants, which additionally stamp a dense KeyID so every downstream
+// comparison is integer work. Composite literals still work and fall back
+// to computing the key on demand.
 type Message struct {
 	ID   hom.Identifier
 	Body Payload
@@ -50,6 +54,9 @@ type Message struct {
 	// key caches the canonical (identifier, payload) key. Empty for
 	// literal-constructed messages; Key() recomputes in that case.
 	key string
+	// kid is the key's dense ID in the execution's intern table; NoKey
+	// for messages built without an interner.
+	kid KeyID
 }
 
 // NewMessage stamps body with id and precomputes the canonical key.
@@ -63,6 +70,22 @@ func NewMessageKeyed(id hom.Identifier, body Payload, bodyKey string) Message {
 	return Message{ID: id, Body: body, key: messageKey(id, bodyKey)}
 }
 
+// NewMessageInterned is NewMessage with the canonical key symbolized in
+// it. Repeated sends of an already-known message allocate nothing beyond
+// body.Key itself.
+func NewMessageInterned(it *Interner, id hom.Identifier, body Payload) Message {
+	return NewMessageKeyedInterned(it, id, body, body.Key())
+}
+
+// NewMessageKeyedInterned is the engines' message constructor: the
+// canonical key is built in the interner's scratch buffer and interned,
+// so a key that was seen before costs one hash lookup and zero
+// allocations.
+func NewMessageKeyedInterned(it *Interner, id hom.Identifier, body Payload, bodyKey string) Message {
+	kid, key := it.InternMessageKey(int64(id), bodyKey)
+	return Message{ID: id, Body: body, key: key, kid: kid}
+}
+
 // Key returns the canonical key of the (identifier, payload) pair.
 func (m Message) Key() string {
 	if m.key != "" {
@@ -70,6 +93,10 @@ func (m Message) Key() string {
 	}
 	return messageKey(m.ID, m.Body.Key())
 }
+
+// KeyID returns the message's dense key ID, or NoKey when the message was
+// built without an interner.
+func (m Message) KeyID() KeyID { return m.kid }
 
 // messageKey builds "id=<id>|<bodyKey>" in a single allocation.
 func messageKey(id hom.Identifier, bodyKey string) string {
@@ -142,29 +169,71 @@ type Delivered struct {
 // For a numerate receiver it behaves as a multiset and Count returns the
 // number of copies received.
 //
-// The distinct messages are kept sorted by (identifier, payload key) at
-// insertion time, so no per-round sort pass is needed and every accessor
-// that used to allocate (DistinctIdentifiers, FromIdentifier) can work
-// straight off the sorted slice.
+// The distinct messages are kept sorted at insertion time, so no
+// per-round sort pass is needed. An inbox built entirely from interned
+// messages (the engine path) runs string-free: dedup and counting index a
+// dense KeyID->count array and sorted insertion compares (identifier,
+// KeyID) pairs, where the KeyID order is the execution's deterministic
+// first-intern order. Inboxes with uninterned messages fall back to the
+// canonical-key map and (identifier, key) ordering.
 type Inbox struct {
 	numerate bool
-	order    []Message      // distinct messages, sorted by (ID, body key)
-	counts   map[string]int // message key -> multiplicity
+	interned bool // every message carries a KeyID
+	// Distinct messages in arrival order. In arena mode (the engines'
+	// indexed path) they are int32 references into the caller's send
+	// arena, so the n^2 delivery fan-out never copies Message structs;
+	// otherwise they are owned copies in msgs.
+	arena    []Message
+	ref      []int32
+	msgs     []Message
+	orderIdx []int32        // sorted indices over the distinct set (see above)
+	order    []Message      // sorted view, materialised on first access
+	sorted   bool           // order mirrors orderIdx
+	counts   map[string]int // message key -> multiplicity (uninterned mode)
+	kidCount []int32        // KeyID -> multiplicity (interned mode)
 	total    int            // sum of multiplicities
 	pooled   bool
 }
 
+// distinctLen returns the number of distinct messages.
+func (in *Inbox) distinctLen() int {
+	if in.arena != nil {
+		return len(in.ref)
+	}
+	return len(in.msgs)
+}
+
+// at returns the i-th distinct message (arrival order).
+func (in *Inbox) at(i int) *Message {
+	if in.arena != nil {
+		return &in.arena[in.ref[i]]
+	}
+	return &in.msgs[i]
+}
+
 // NewInbox builds an inbox with the requested reception semantics from the
 // raw delivered messages. The raw order does not matter: distinct messages
-// are kept sorted by (identifier, payload key) for determinism.
+// are kept in a deterministic sorted order.
 func NewInbox(numerate bool, raw []Message) *Inbox {
 	in := &Inbox{}
 	in.fill(numerate, raw)
 	return in
 }
 
-// inboxPool recycles inbox shells (the struct, its sorted buffer and its
-// count map) across rounds.
+// NewPooledInboxIndexed is the engines' inbox constructor: the round's
+// sends live once in a shared arena and each receiver's deliveries are
+// int32 indices into it, so routing never copies pointer-laden Message
+// structs per delivery (no write-barrier traffic) and the fill path only
+// touches the distinct messages.
+func NewPooledInboxIndexed(numerate bool, arena []Message, idx []int32) *Inbox {
+	in := inboxPool.Get().(*Inbox)
+	in.pooled = true
+	in.fillIndexed(numerate, arena, idx)
+	return in
+}
+
+// inboxPool recycles inbox shells (the struct, its sorted buffer, its
+// count map and its KeyID count array) across rounds.
 var inboxPool = sync.Pool{New: func() any { return new(Inbox) }}
 
 // NewPooledInbox is NewInbox backed by a recycled shell. The caller owns
@@ -186,10 +255,27 @@ func (in *Inbox) Recycle() {
 	if !in.pooled {
 		return
 	}
-	clear(in.counts)
-	clear(in.order) // drop payload references so the pool retains no garbage
+	if in.interned {
+		// Zero exactly the counts this round touched; the dense array
+		// itself persists across rounds, which is what makes the
+		// steady-state fill allocation-free.
+		for i, n := 0, in.distinctLen(); i < n; i++ {
+			in.kidCount[in.at(i).kid] = 0
+		}
+	} else {
+		clear(in.counts)
+	}
+	// Drop payload references so the pool retains no garbage.
+	in.arena = nil
+	in.ref = in.ref[:0]
+	clear(in.msgs)
+	in.msgs = in.msgs[:0]
+	clear(in.order)
 	in.order = in.order[:0]
+	in.orderIdx = in.orderIdx[:0]
+	in.sorted = false
 	in.total = 0
+	in.interned = false
 	in.pooled = false
 	inboxPool.Put(in)
 }
@@ -198,81 +284,253 @@ func (in *Inbox) Recycle() {
 func (in *Inbox) fill(numerate bool, raw []Message) {
 	in.numerate = numerate
 	in.total = 0
+	in.sorted = false
+	if cap(in.msgs) < len(raw) {
+		in.msgs = make([]Message, 0, len(raw))
+	}
+	maxKid := KeyID(0)
+	in.interned = len(raw) > 0
+	for i := range raw {
+		if raw[i].kid == NoKey {
+			in.interned = false
+			break
+		}
+		if raw[i].kid > maxKid {
+			maxKid = raw[i].kid
+		}
+	}
+	if in.interned {
+		in.growCounts(maxKid)
+		for _, m := range raw {
+			in.addInterned(m, numerate)
+		}
+		return
+	}
 	if in.counts == nil {
 		in.counts = make(map[string]int, len(raw))
 	}
-	if cap(in.order) < len(raw) {
-		in.order = make([]Message, 0, len(raw))
-	}
 	for _, m := range raw {
-		if m.key == "" {
-			m.key = messageKey(m.ID, m.Body.Key())
-		}
-		in.total++
-		if c := in.counts[m.key]; c > 0 {
-			if numerate {
-				in.counts[m.key] = c + 1
-			} else {
-				in.total--
-			}
-			continue
-		}
-		in.counts[m.key] = 1
-		in.insert(m)
+		in.addLegacy(m, numerate)
 	}
 }
 
-// insert places m into the sorted order buffer (binary search + shift; the
-// keys are already cached so comparisons are cheap, and per-round inboxes
-// are small).
-func (in *Inbox) insert(m Message) {
-	pos := sort.Search(len(in.order), func(i int) bool {
-		if in.order[i].ID != m.ID {
-			return in.order[i].ID > m.ID
+// fillIndexed is fill over an index view into a shared send arena. The
+// interned fast path keeps arena references instead of copying messages:
+// the arena outlives the inbox (both are engine-owned round scratch), so
+// dedup appends one int32 per distinct message and no Message struct
+// moves until someone materialises the sorted view.
+func (in *Inbox) fillIndexed(numerate bool, arena []Message, idx []int32) {
+	in.numerate = numerate
+	in.total = 0
+	in.sorted = false
+	maxKid := KeyID(0)
+	in.interned = len(idx) > 0
+	for _, i := range idx {
+		if arena[i].kid == NoKey {
+			in.interned = false
+			break
 		}
-		// Equal identifiers render identical "id=<id>|" prefixes, so
-		// comparing full cached keys orders by payload key.
-		return in.order[i].key > m.key
-	})
-	in.order = append(in.order, Message{})
-	copy(in.order[pos+1:], in.order[pos:])
-	in.order[pos] = m
+		if arena[i].kid > maxKid {
+			maxKid = arena[i].kid
+		}
+	}
+	if in.interned {
+		in.arena = arena
+		if cap(in.ref) < len(idx) {
+			in.ref = make([]int32, 0, len(idx))
+		}
+		in.growCounts(maxKid)
+		for _, i := range idx {
+			m := &arena[i]
+			in.total++
+			if c := in.kidCount[m.kid]; c > 0 {
+				if numerate {
+					in.kidCount[m.kid] = c + 1
+				} else {
+					in.total--
+				}
+				continue
+			}
+			in.kidCount[m.kid] = 1
+			in.ref = append(in.ref, i)
+		}
+		return
+	}
+	if cap(in.msgs) < len(idx) {
+		in.msgs = make([]Message, 0, len(idx))
+	}
+	if in.counts == nil {
+		in.counts = make(map[string]int, len(idx))
+	}
+	for _, i := range idx {
+		in.addLegacy(arena[i], numerate)
+	}
+}
+
+// growCounts sizes the dense count array to cover maxKid.
+func (in *Inbox) growCounts(maxKid KeyID) {
+	if n := int(maxKid) + 1; n > len(in.kidCount) {
+		if n <= cap(in.kidCount) {
+			// The region beyond the old length was never written (counts
+			// are zeroed on Recycle), so extending is free.
+			in.kidCount = in.kidCount[:n]
+		} else {
+			grown := make([]int32, n, 2*n)
+			copy(grown, in.kidCount)
+			in.kidCount = grown
+		}
+	}
+}
+
+// addInterned folds one interned delivery into the dense counts, keeping
+// first sights in the message arena. Sorting is deferred to materialize.
+func (in *Inbox) addInterned(m Message, numerate bool) {
+	in.total++
+	if c := in.kidCount[m.kid]; c > 0 {
+		if numerate {
+			in.kidCount[m.kid] = c + 1
+		} else {
+			in.total--
+		}
+		return
+	}
+	in.kidCount[m.kid] = 1
+	in.msgs = append(in.msgs, m)
+}
+
+// addLegacy folds one uninterned delivery into the canonical-key map.
+func (in *Inbox) addLegacy(m Message, numerate bool) {
+	if in.counts == nil {
+		in.counts = make(map[string]int, 8)
+	}
+	if m.key == "" {
+		m.key = messageKey(m.ID, m.Body.Key())
+	}
+	in.total++
+	if c := in.counts[m.key]; c > 0 {
+		if numerate {
+			in.counts[m.key] = c + 1
+		} else {
+			in.total--
+		}
+		return
+	}
+	in.counts[m.key] = 1
+	in.msgs = append(in.msgs, m)
+}
+
+// materialize builds the sorted message view on first access; rounds
+// whose receivers never look at the messages (or only count) skip the
+// sort and the copy entirely. Interned inboxes order by (ID, KeyID),
+// uninterned ones by (ID, canonical key); both orders are deterministic
+// for a deterministic execution.
+func (in *Inbox) materialize() []Message {
+	if in.sorted {
+		return in.order
+	}
+	k := in.distinctLen()
+	if cap(in.orderIdx) < k {
+		in.orderIdx = make([]int32, 0, k)
+	}
+	in.orderIdx = in.orderIdx[:0]
+	// Insertion sort over int32 indices (binary search + shift): the
+	// distinct set is small and index shifts carry no write barriers.
+	for j := 0; j < k; j++ {
+		m := in.at(j)
+		var pos int
+		if in.interned {
+			pos = sort.Search(len(in.orderIdx), func(i int) bool {
+				o := in.at(int(in.orderIdx[i]))
+				if o.ID != m.ID {
+					return o.ID > m.ID
+				}
+				return o.kid > m.kid
+			})
+		} else {
+			pos = sort.Search(len(in.orderIdx), func(i int) bool {
+				o := in.at(int(in.orderIdx[i]))
+				if o.ID != m.ID {
+					return o.ID > m.ID
+				}
+				// Equal identifiers render identical "id=<id>|" prefixes,
+				// so comparing full cached keys orders by payload key.
+				return o.key > m.key
+			})
+		}
+		in.orderIdx = append(in.orderIdx, 0)
+		copy(in.orderIdx[pos+1:], in.orderIdx[pos:])
+		in.orderIdx[pos] = int32(j)
+	}
+	if cap(in.order) < k {
+		in.order = make([]Message, 0, k)
+	}
+	in.order = in.order[:k]
+	for i, idx := range in.orderIdx {
+		in.order[i] = *in.at(int(idx))
+	}
+	in.sorted = true
+	return in.order
 }
 
 // Numerate reports the reception semantics of the inbox.
 func (in *Inbox) Numerate() bool { return in.numerate }
 
-// Messages returns the distinct messages received this round, sorted by
-// (identifier, payload key). Callers must not mutate the slice and must
-// not retain it past Receive when the inbox is engine-owned.
-func (in *Inbox) Messages() []Message { return in.order }
+// Messages returns the distinct messages received this round, in the
+// inbox's sorted order. Callers must not mutate the slice and must not
+// retain it past Receive when the inbox is engine-owned.
+func (in *Inbox) Messages() []Message { return in.materialize() }
 
 // Count returns the multiplicity of the given message. Innumerate inboxes
 // report at most 1. A message never received reports 0. For messages
 // obtained from the inbox itself (Messages, FromIdentifier) this is a
-// single map lookup with no key rebuilding.
-func (in *Inbox) Count(m Message) int { return in.counts[m.Key()] }
+// single integer index (interned) or map lookup, with no key rebuilding.
+func (in *Inbox) Count(m Message) int {
+	if !in.interned {
+		return in.counts[m.Key()]
+	}
+	if m.kid != NoKey {
+		if int(m.kid) < len(in.kidCount) {
+			return int(in.kidCount[m.kid])
+		}
+		return 0
+	}
+	return in.countForeign(m)
+}
+
+// countForeign resolves an uninterned query against an interned inbox by
+// comparing canonical keys against the small distinct set (rare: only
+// hand-built Messages take this path).
+func (in *Inbox) countForeign(m Message) int {
+	key := m.Key()
+	for i, n := 0, in.distinctLen(); i < n; i++ {
+		if o := in.at(i); o.key == key {
+			return int(in.kidCount[o.kid])
+		}
+	}
+	return 0
+}
 
 // TotalCount returns the total number of message copies received
 // (distinct messages for an innumerate inbox).
 func (in *Inbox) TotalCount() int { return in.total }
 
 // Len returns the number of distinct messages.
-func (in *Inbox) Len() int { return len(in.order) }
+func (in *Inbox) Len() int { return in.distinctLen() }
 
 // FromIdentifier returns the distinct messages carrying the given sender
 // identifier, in deterministic order. The result is a view into the
 // inbox's sorted buffer: callers must not mutate or retain it.
 func (in *Inbox) FromIdentifier(id hom.Identifier) []Message {
-	lo := sort.Search(len(in.order), func(i int) bool { return in.order[i].ID >= id })
+	order := in.materialize()
+	lo := sort.Search(len(order), func(i int) bool { return order[i].ID >= id })
 	hi := lo
-	for hi < len(in.order) && in.order[hi].ID == id {
+	for hi < len(order) && order[hi].ID == id {
 		hi++
 	}
 	if lo == hi {
 		return nil
 	}
-	return in.order[lo:hi]
+	return order[lo:hi]
 }
 
 // DistinctIdentifiers returns the sorted identifiers from which the
@@ -280,7 +538,7 @@ func (in *Inbox) FromIdentifier(id hom.Identifier) []Message {
 // every message.
 func (in *Inbox) DistinctIdentifiers(pred func(Message) bool) []hom.Identifier {
 	var out []hom.Identifier
-	for _, m := range in.order {
+	for _, m := range in.materialize() {
 		if pred != nil && !pred(m) {
 			continue
 		}
@@ -296,7 +554,7 @@ func (in *Inbox) DistinctIdentifiers(pred func(Message) bool) []hom.Identifier {
 func (in *Inbox) CountDistinctIdentifiers(pred func(Message) bool) int {
 	count := 0
 	last := hom.Identifier(0)
-	for _, m := range in.order {
+	for _, m := range in.materialize() {
 		if pred != nil && !pred(m) {
 			continue
 		}
@@ -316,7 +574,15 @@ func (in *Inbox) CountCopies(pred func(Message) bool) int {
 		return in.total
 	}
 	total := 0
-	for _, m := range in.order {
+	if in.interned {
+		for _, m := range in.materialize() {
+			if pred(m) {
+				total += int(in.kidCount[m.kid])
+			}
+		}
+		return total
+	}
+	for _, m := range in.materialize() {
 		if pred(m) {
 			total += in.counts[m.key]
 		}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package msg
+
+// raceEnabled reports whether the race detector instruments this build.
+// sync.Pool intentionally drops items under the race detector, so
+// pool-based zero-allocation assertions only hold without it.
+const raceEnabled = false

@@ -24,13 +24,19 @@
 // tuple per (h, m, k); invalid bundles are discarded entirely. Thresholds
 // n−2t (adopt an estimate) and n−t (accept) count received bundle copies
 // — this is where numeracy is essential.
+//
+// The per-round bookkeeping is string-free: every a[h, m, k] cell key is
+// symbolized once in a broadcaster-local intern table, the table itself is
+// a flat arena indexed through the dense KeyIDs, and the per-round init
+// counts, echo support groups and bundle-validity dedup all run on
+// KeyID-indexed scratch arrays (generation stamps instead of transient
+// maps). Release returns the whole table to a pool for the next execution.
 package numbcast
 
 import (
 	"errors"
 	"sort"
-	"strconv"
-	"strings"
+	"sync"
 
 	"homonyms/internal/hom"
 	"homonyms/internal/msg"
@@ -70,29 +76,22 @@ type Bundle struct {
 	key    string
 }
 
-// NewBundle builds a bundle in canonical order with a cached key.
+// NewBundle builds a bundle in canonical order with a cached key. The key
+// embeds tuple bodies through the escaping KeyBuilder path, so bodies
+// containing separator bytes cannot make two distinct bundles collide.
 func NewBundle(inits []InitTuple, echoes []EchoTuple) *Bundle {
 	is := append([]InitTuple(nil), inits...)
 	es := append([]EchoTuple(nil), echoes...)
 	sort.Slice(is, func(a, b int) bool { return is[a].Body.Key() < is[b].Body.Key() })
 	sort.Slice(es, func(a, b int) bool { return echoLess(es[a], es[b]) })
-	var b strings.Builder
-	b.WriteString("numbundle")
+	kb := msg.NewKey("numbundle").Int(len(is))
 	for _, it := range is {
-		b.WriteString("|i:")
-		b.WriteString(it.Body.Key())
+		kb.Str(it.Body.Key())
 	}
 	for _, et := range es {
-		b.WriteString("|e:")
-		b.WriteString(strconv.Itoa(int(et.H)))
-		b.WriteByte(',')
-		b.WriteString(strconv.Itoa(et.A))
-		b.WriteByte(',')
-		b.WriteString(strconv.Itoa(et.K))
-		b.WriteByte(',')
-		b.WriteString(et.Body.Key())
+		kb.Identifier(et.H).Int(et.A).Int(et.K).Str(et.Body.Key())
 	}
-	return &Bundle{Inits: is, Echoes: es, key: b.String()}
+	return &Bundle{Inits: is, Echoes: es, key: kb.String()}
 }
 
 func echoLess(a, b EchoTuple) bool {
@@ -119,7 +118,9 @@ type Accept struct {
 	SR    int
 }
 
-// entry is one a[h, m, k] table cell.
+// entry is one a[h, m, k] table cell. Cells live by value in the arena in
+// first-sight order; the cell key's dense KeyID locates them through the
+// cellAt index.
 type entry struct {
 	h     hom.Identifier
 	body  msg.Payload
@@ -127,13 +128,86 @@ type entry struct {
 	alpha int
 }
 
+// alphaCopy is one (α, copies) support sample for a cell.
+type alphaCopy struct {
+	alpha, copies int
+}
+
+// initAcc accumulates one init-round count for a cell key.
+type initAcc struct {
+	kid   msg.KeyID
+	h     hom.Identifier
+	body  msg.Payload
+	count int
+}
+
+// echoAcc accumulates the round's echo support for a cell key.
+type echoAcc struct {
+	kid     msg.KeyID
+	h       hom.Identifier
+	body    msg.Payload
+	k       int
+	support []alphaCopy
+}
+
+// recvBundle is one valid received bundle with its copy count.
+type recvBundle struct {
+	id     hom.Identifier
+	bundle *Bundle
+	copies int
+}
+
+// ntable is the recyclable storage of a Broadcaster: the intern table,
+// the cell arena, and every KeyID-indexed per-round scratch array.
+type ntable struct {
+	keys   *msg.Interner
+	kb     msg.KeyBuilder
+	cells  []entry
+	cellAt []int32 // KeyID -> arena index + 1; 0 = no cell
+
+	// Per-round scratch, reused across rounds.
+	seen    []uint64 // KeyID -> bundle-validity generation stamp
+	seenGen uint64
+	initAcc []initAcc
+	initAt  []int32 // KeyID -> initAcc index + 1
+	echoAcc []echoAcc
+	echoAt  []int32 // KeyID -> echoAcc index + 1
+	sortBuf []alphaCopy
+	recv    []recvBundle
+}
+
+// ensure grows every KeyID-indexed array to cover kid.
+func (t *ntable) ensure(kid msg.KeyID) {
+	n := int(kid) + 1
+	if n <= len(t.cellAt) {
+		return
+	}
+	grow := n
+	if grow < 2*len(t.cellAt) {
+		grow = 2 * len(t.cellAt)
+	}
+	cellAt := make([]int32, grow)
+	copy(cellAt, t.cellAt)
+	t.cellAt = cellAt
+	seen := make([]uint64, grow)
+	copy(seen, t.seen)
+	t.seen = seen
+	initAt := make([]int32, grow)
+	copy(initAt, t.initAt)
+	t.initAt = initAt
+	echoAt := make([]int32, grow)
+	copy(echoAt, t.echoAt)
+	t.echoAt = echoAt
+}
+
+var tablePool = sync.Pool{New: func() any { return &ntable{keys: msg.NewInterner()} }}
+
 // Broadcaster is the per-process Figure-6 component. Construct with New.
 type Broadcaster struct {
 	n, t    int
 	l       int
 	pending []msg.Payload
-	table   map[string]*entry // cell key -> cell
-	order   []string
+	tab     *ntable
 }
 
 // New returns a broadcaster for n processes with l identifiers and at most
@@ -142,7 +216,46 @@ func New(n, l, t int) (*Broadcaster, error) {
 	if n <= 3*t {
 		return nil, ErrResilience
 	}
-	return &Broadcaster{n: n, t: t, l: l, table: make(map[string]*entry)}, nil
+	return newBroadcaster(n, l, t), nil
+}
+
+// newBroadcaster builds a broadcaster without the resilience check (the
+// fuzz host probes below the bound on purpose).
+func newBroadcaster(n, l, t int) *Broadcaster {
+	tab := tablePool.Get().(*ntable)
+	tab.keys.Reset()
+	clear(tab.cells)
+	tab.cells = tab.cells[:0]
+	for i := range tab.cellAt {
+		tab.cellAt[i] = 0
+	}
+	clear(tab.seen)
+	tab.seenGen = 0
+	clear(tab.recv)
+	tab.recv = tab.recv[:0]
+	return &Broadcaster{n: n, t: t, l: l, tab: tab}
+}
+
+// Release returns the broadcaster's arena-backed table to the shared
+// pool. The broadcaster is unusable afterwards.
+func (b *Broadcaster) Release() {
+	if b.tab == nil {
+		return
+	}
+	// Drop payload references before pooling so recycled tables retain no
+	// garbage from this execution.
+	clear(b.tab.cells)
+	b.tab.cells = b.tab.cells[:0]
+	clear(b.tab.initAcc)
+	b.tab.initAcc = b.tab.initAcc[:0]
+	for i := range b.tab.echoAcc {
+		b.tab.echoAcc[i].body = nil
+	}
+	b.tab.echoAcc = b.tab.echoAcc[:0]
+	clear(b.tab.recv)
+	b.tab.recv = b.tab.recv[:0]
+	tablePool.Put(b.tab)
+	b.tab = nil
 }
 
 // Broadcast queues m for initiation at the next init round under the
@@ -152,7 +265,8 @@ func (b *Broadcaster) Broadcast(m msg.Payload) {
 }
 
 // Outgoing returns the single bundle to broadcast this round, or nil when
-// there is nothing to send (empty table and no pending init).
+// there is nothing to send (empty table and no pending init). Cells are
+// scanned in arena (first-sight) order; NewBundle canonicalises.
 func (b *Broadcaster) Outgoing(round int) msg.Payload {
 	var inits []InitTuple
 	if IsInitRound(round) {
@@ -162,8 +276,8 @@ func (b *Broadcaster) Outgoing(round int) msg.Payload {
 		b.pending = nil
 	}
 	var echoes []EchoTuple
-	for _, k := range b.order {
-		cell := b.table[k]
+	for i := range b.tab.cells {
+		cell := &b.tab.cells[i]
 		if cell.alpha > 0 {
 			echoes = append(echoes, EchoTuple{H: cell.h, A: cell.alpha, Body: cell.body, K: cell.k})
 		}
@@ -177,33 +291,40 @@ func (b *Broadcaster) Outgoing(round int) msg.Payload {
 // validBundle applies the paper's validity rules for a message received at
 // the given round: at most one init tuple per (m) (with the init bound to
 // the current superround), and at most one echo tuple per (h, m, k) with
-// k at most the current superround.
-func validBundle(bundle *Bundle, round int) bool {
+// k at most the current superround. Dedup runs on generation stamps over
+// the interned tuple keys — no per-round maps. Keys from rejected bundles
+// stay interned: memory grows with the number of distinct forged keys,
+// which is bounded by bundle size × MaxRounds per execution, and the
+// whole table returns to the pool on Release — a deliberate trade against
+// allocating fresh validation maps every round.
+func (b *Broadcaster) validBundle(bundle *Bundle, round int) bool {
 	sr := Superround(round)
-	seenInit := make(map[string]bool, len(bundle.Inits))
+	t := b.tab
+	t.seenGen++
+	gen := t.seenGen
 	for _, it := range bundle.Inits {
 		if it.Body == nil {
 			return false
 		}
-		k := it.Body.Key()
-		if seenInit[k] {
+		kid := t.kb.Reset("i").Str(it.Body.Key()).Intern(t.keys)
+		t.ensure(kid)
+		if t.seen[kid] == gen {
 			return false
 		}
-		seenInit[k] = true
+		t.seen[kid] = gen
 	}
 	if len(bundle.Inits) > 0 && !IsInitRound(round) {
 		return false
 	}
-	seenEcho := make(map[string]bool, len(bundle.Echoes))
 	for _, et := range bundle.Echoes {
 		if et.Body == nil || et.A < 0 || et.K < 1 || et.K > sr || !et.H.IsValid(maxIdentifiers) {
 			return false
 		}
-		k := strconv.Itoa(int(et.H)) + "/" + strconv.Itoa(et.K) + "/" + et.Body.Key()
-		if seenEcho[k] {
+		kid := b.cellKID(et.H, et.Body, et.K)
+		if t.seen[kid] == gen {
 			return false
 		}
-		seenEcho[k] = true
+		t.seen[kid] = gen
 	}
 	return true
 }
@@ -213,133 +334,149 @@ func validBundle(bundle *Bundle, round int) bool {
 // only rejects nonsense.
 const maxIdentifiers = 1 << 20
 
-// cellKey builds the canonical a[h, m, k] cell key.
-func cellKey(h hom.Identifier, body msg.Payload, k int) string {
-	return strconv.Itoa(int(h)) + "/" + strconv.Itoa(k) + "/" + body.Key()
+// cellKID interns the canonical a[h, m, k] cell key ("c|h|k|body", built
+// in scratch) and returns its dense ID; known cells allocate nothing.
+func (b *Broadcaster) cellKID(h hom.Identifier, body msg.Payload, k int) msg.KeyID {
+	kid := b.tab.kb.Reset("c").Identifier(h).Int(k).Str(body.Key()).Intern(b.tab.keys)
+	b.tab.ensure(kid)
+	return kid
 }
 
-func (b *Broadcaster) cell(h hom.Identifier, body msg.Payload, k int) *entry {
-	key := cellKey(h, body, k)
-	if c, ok := b.table[key]; ok {
-		return c
+// cell returns the arena index of the a[h, m, k] cell, creating it on
+// first sight.
+func (b *Broadcaster) cell(h hom.Identifier, body msg.Payload, k int) int {
+	kid := b.cellKID(h, body, k)
+	if pos := b.tab.cellAt[kid]; pos != 0 {
+		return int(pos) - 1
 	}
-	c := &entry{h: h, body: body, k: k}
-	b.table[key] = c
-	b.order = append(b.order, key)
-	return c
+	b.tab.cells = append(b.tab.cells, entry{h: h, body: body, k: k})
+	b.tab.cellAt[kid] = int32(len(b.tab.cells))
+	return len(b.tab.cells) - 1
+}
+
+// initGroup returns the round's init accumulator for a cell key, creating
+// it on first sight (in first-sight order).
+func (t *ntable) initGroup(kid msg.KeyID, h hom.Identifier, body msg.Payload) *initAcc {
+	if pos := t.initAt[kid]; pos != 0 {
+		return &t.initAcc[pos-1]
+	}
+	t.initAcc = append(t.initAcc, initAcc{kid: kid, h: h, body: body})
+	t.initAt[kid] = int32(len(t.initAcc))
+	return &t.initAcc[len(t.initAcc)-1]
+}
+
+// echoGroup returns the round's echo accumulator for a cell key, creating
+// it on first sight. Reused slots keep their support capacity.
+func (t *ntable) echoGroup(kid msg.KeyID, h hom.Identifier, body msg.Payload, k int) *echoAcc {
+	if pos := t.echoAt[kid]; pos != 0 {
+		return &t.echoAcc[pos-1]
+	}
+	if len(t.echoAcc) < cap(t.echoAcc) {
+		t.echoAcc = t.echoAcc[:len(t.echoAcc)+1]
+		g := &t.echoAcc[len(t.echoAcc)-1]
+		g.support = g.support[:0]
+	} else {
+		t.echoAcc = append(t.echoAcc, echoAcc{})
+	}
+	g := &t.echoAcc[len(t.echoAcc)-1]
+	g.kid, g.h, g.body, g.k = kid, h, body, k
+	t.echoAt[kid] = int32(len(t.echoAcc))
+	return g
 }
 
 // Ingest processes the round's inbox. Accepts are only performed in the
 // second round of each superround (unicity); the returned slice is in
-// deterministic order.
+// deterministic (first-sight over the sorted inbox) order.
 func (b *Broadcaster) Ingest(round int, in *msg.Inbox) []Accept {
 	sr := Superround(round)
+	t := b.tab
 
 	// Gather valid bundles with their copy counts.
-	type recv struct {
-		id     hom.Identifier
-		bundle *Bundle
-		copies int
-	}
-	var bundles []recv
+	t.recv = t.recv[:0]
 	for _, m := range in.Messages() {
 		bundle, ok := m.Body.(*Bundle)
-		if !ok || !validBundle(bundle, round) {
+		if !ok || !b.validBundle(bundle, round) {
 			continue
 		}
-		bundles = append(bundles, recv{id: m.ID, bundle: bundle, copies: in.Count(m)})
+		t.recv = append(t.recv, recvBundle{id: m.ID, bundle: bundle, copies: in.Count(m)})
 	}
 
 	// Lines 13–14: init counting (first round of a superround). α is the
 	// total number of valid message copies from identifier h containing
 	// (init, h, m, sr).
 	if IsInitRound(round) {
-		initCounts := make(map[string]int)
-		initMeta := make(map[string]struct {
-			h    hom.Identifier
-			body msg.Payload
-		})
-		for _, r := range bundles {
+		for _, r := range t.recv {
 			for _, it := range r.bundle.Inits {
-				key := cellKey(r.id, it.Body, sr)
-				initCounts[key] += r.copies
-				initMeta[key] = struct {
-					h    hom.Identifier
-					body msg.Payload
-				}{r.id, it.Body}
+				kid := b.cellKID(r.id, it.Body, sr)
+				t.initGroup(kid, r.id, it.Body).count += r.copies
 			}
 		}
-		keys := make([]string, 0, len(initCounts))
-		for k := range initCounts {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			meta := initMeta[k]
-			c := b.cell(meta.h, meta.body, sr)
-			if initCounts[k] > 0 {
-				c.alpha = initCounts[k]
+		for i := range t.initAcc {
+			acc := &t.initAcc[i]
+			if acc.count > 0 {
+				b.tab.cells[b.cell(acc.h, acc.body, sr)].alpha = acc.count
 			}
+			t.initAt[acc.kid] = 0
 		}
+		clear(t.initAcc)
+		t.initAcc = t.initAcc[:0]
 	}
 
 	// Lines 15–18: adopt echo estimates supported by n−2t message copies.
 	// For each (h, m, k), α1 = max{α : at least n−2t copies carried
 	// (echo, h, α′, m, k) with α′ ≥ α}.
-	echoSupport := make(map[string][]struct{ alpha, copies int })
-	echoMeta := make(map[string]struct {
-		h    hom.Identifier
-		body msg.Payload
-		k    int
-	})
-	for _, r := range bundles {
+	for _, r := range t.recv {
 		for _, et := range r.bundle.Echoes {
-			key := cellKey(et.H, et.Body, et.K)
-			echoSupport[key] = append(echoSupport[key], struct{ alpha, copies int }{et.A, r.copies})
-			echoMeta[key] = struct {
-				h    hom.Identifier
-				body msg.Payload
-				k    int
-			}{et.H, et.Body, et.K}
+			kid := b.cellKID(et.H, et.Body, et.K)
+			g := t.echoGroup(kid, et.H, et.Body, et.K)
+			g.support = append(g.support, alphaCopy{alpha: et.A, copies: r.copies})
 		}
 	}
-	echoKeys := make([]string, 0, len(echoSupport))
-	for k := range echoSupport {
-		echoKeys = append(echoKeys, k)
-	}
-	sort.Strings(echoKeys)
 
 	var accepts []Accept
-	for _, key := range echoKeys {
-		support := echoSupport[key]
-		meta := echoMeta[key]
-		if alpha1, ok := thresholdAlpha(support, b.n-2*b.t); ok {
-			c := b.cell(meta.h, meta.body, meta.k)
-			if alpha1 > c.alpha {
-				c.alpha = alpha1
+	for i := range t.echoAcc {
+		g := &t.echoAcc[i]
+		if alpha1, ok := t.thresholdAlpha(g.support, b.n-2*b.t); ok {
+			idx := b.cell(g.h, g.body, g.k)
+			if alpha1 > t.cells[idx].alpha {
+				t.cells[idx].alpha = alpha1
 			}
 		}
 		// Lines 19–21: accept on n−t copies, in the second round of the
 		// superround only.
 		if !IsInitRound(round) {
-			if alpha2, ok := thresholdAlpha(support, b.n-b.t); ok {
-				accepts = append(accepts, Accept{ID: meta.h, Alpha: alpha2, Body: meta.body, SR: meta.k})
+			if alpha2, ok := t.thresholdAlpha(g.support, b.n-b.t); ok {
+				accepts = append(accepts, Accept{ID: g.h, Alpha: alpha2, Body: g.body, SR: g.k})
 			}
 		}
+		t.echoAt[g.kid] = 0
+		g.body = nil
 	}
+	t.echoAcc = t.echoAcc[:0]
 	return accepts
 }
 
 // thresholdAlpha returns the largest α such that message copies carrying
 // α′ ≥ α number at least need; ok is false when even α = 0 lacks support.
-func thresholdAlpha(support []struct{ alpha, copies int }, need int) (int, bool) {
+// The support samples are insertion-sorted into a reusable buffer
+// (descending α), so the scan allocates nothing in steady state.
+func (t *ntable) thresholdAlpha(support []alphaCopy, need int) (int, bool) {
 	if need <= 0 {
 		need = 1
 	}
-	sorted := append([]struct{ alpha, copies int }(nil), support...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].alpha > sorted[j].alpha })
+	buf := t.sortBuf[:0]
+	for _, s := range support {
+		pos := len(buf)
+		for pos > 0 && buf[pos-1].alpha < s.alpha {
+			pos--
+		}
+		buf = append(buf, alphaCopy{})
+		copy(buf[pos+1:], buf[pos:])
+		buf[pos] = s
+	}
+	t.sortBuf = buf
 	run := 0
-	for _, s := range sorted {
+	for _, s := range buf {
 		run += s.copies
 		if run >= need {
 			return s.alpha, true
@@ -350,4 +487,4 @@ func thresholdAlpha(support []struct{ alpha, copies int }, need int) (int, bool)
 
 // TableSize reports the number of tracked cells (tests and memory
 // accounting).
-func (b *Broadcaster) TableSize() int { return len(b.table) }
+func (b *Broadcaster) TableSize() int { return len(b.tab.cells) }

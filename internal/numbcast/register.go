@@ -45,8 +45,12 @@ var _ sim.Process = (*fuzzHost)(nil)
 // stay positive (see Constructible).
 func (h *fuzzHost) Init(ctx sim.Context) {
 	h.ctx = ctx
-	h.bc = &Broadcaster{n: ctx.Params.N, t: ctx.Params.T, l: ctx.Params.L, table: make(map[string]*entry)}
+	h.bc = newBroadcaster(ctx.Params.N, ctx.Params.L, ctx.Params.T)
 }
+
+// Release implements sim.Releaser: the engines call it when the execution
+// ends, returning the broadcaster's arena to the shared pool.
+func (h *fuzzHost) Release() { h.bc.Release() }
 
 // Prepare implements sim.Process.
 func (h *fuzzHost) Prepare(round int) []msg.Send {

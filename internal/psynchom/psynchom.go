@@ -508,3 +508,12 @@ func (pr *Process) updateProper(in *msg.Inbox) {
 func (pr *Process) Decision() (hom.Value, bool) {
 	return pr.decision, pr.decision != hom.NoValue
 }
+
+// Release implements sim.Releaser: the engines call it after the
+// execution, returning the broadcast layer's arena-backed table to its
+// pool.
+func (pr *Process) Release() {
+	if pr.bc != nil {
+		pr.bc.Release()
+	}
+}

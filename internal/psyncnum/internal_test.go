@@ -25,13 +25,26 @@ func newProc(p hom.Params, id hom.Identifier, input hom.Value) *Process {
 
 func TestWitnessCountSumsMaxAlphas(t *testing.T) {
 	pr := newProc(numParams(7, 2, 1), 1, 0)
-	m := ProposePayload{Phase: 0, Val: 0}
-	pr.witnesses[m.Key()] = map[hom.Identifier]int{1: 3, 2: 2}
-	if got := pr.witnessCount(m); got != 5 {
+	kid := pr.proposeKID(0, 0)
+	pr.addWitness(kid, 1, 3)
+	pr.addWitness(kid, 2, 2)
+	pr.addWitness(kid, 1, 2) // lower alpha must not override the max
+	if got := pr.witnessCount(kid); got != 5 {
 		t.Fatalf("witnessCount = %d, want 5", got)
 	}
-	if got := pr.witnessCount(ProposePayload{Phase: 1, Val: 0}); got != 0 {
+	if got := pr.witnessCount(pr.proposeKID(1, 0)); got != 0 {
 		t.Fatalf("witnessCount of unseen payload = %d, want 0", got)
+	}
+	// The scratch-built key must agree byte for byte with the payload's
+	// own canonical key (the interned fast path depends on it).
+	if key := (ProposePayload{Phase: 0, Val: 0}).Key(); pr.keys.Lookup(key) != kid {
+		t.Fatalf("proposeKID bytes diverge from ProposePayload.Key %q", key)
+	}
+	// Out-of-range identifiers (Byzantine bundles) land in the overflow
+	// map and still count.
+	pr.addWitness(kid, 99, 4)
+	if got := pr.witnessCount(kid); got != 9 {
+		t.Fatalf("witnessCount with overflow id = %d, want 9", got)
 	}
 }
 
@@ -85,12 +98,13 @@ func TestPickersUseWitnessThresholds(t *testing.T) {
 	p := numParams(7, 2, 1)
 	pr := newProc(p, 1, 0)
 	need := p.N - p.T // 6
-	prop := ProposePayload{Phase: 0, Val: 1}
-	pr.witnesses[prop.Key()] = map[hom.Identifier]int{1: 3, 2: 2}
+	kid := pr.proposeKID(0, 1)
+	pr.addWitness(kid, 1, 3)
+	pr.addWitness(kid, 2, 2)
 	if _, ok := pr.pickWitnessed(0, need); ok {
 		t.Fatal("picked a value with 5 < 6 witnesses")
 	}
-	pr.witnesses[prop.Key()][2] = 3
+	pr.addWitness(kid, 2, 3)
 	v, ok := pr.pickWitnessed(0, need)
 	if !ok || v != 1 {
 		t.Fatalf("pickWitnessed = %d, %v; want 1", v, ok)
@@ -110,8 +124,9 @@ func TestReleaseLocksByWitnesses(t *testing.T) {
 	pr := newProc(p, 1, 0)
 	need := p.N - p.T
 	pr.locks[0] = 1
-	vote := VotePayload{Phase: 3, Val: 1}
-	pr.witnesses[vote.Key()] = map[hom.Identifier]int{1: 4, 2: 2}
+	kid := pr.voteKID(3, 1)
+	pr.addWitness(kid, 1, 4)
+	pr.addWitness(kid, 2, 2)
 	pr.maxAcceptPhase = 3
 	pr.releaseLocks(need)
 	if _, held := pr.locks[0]; held {

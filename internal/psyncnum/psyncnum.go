@@ -160,6 +160,16 @@ func (e Envelope) Key() string {
 // Process
 // ---------------------------------------------------------------------------
 
+// witnessRow holds the per-identifier multiplicities accepted for one
+// broadcast body (indexed by the body key's dense KeyID). In-range
+// identifiers (1..ℓ) live in a flat array; anything a Byzantine bundle
+// smuggled in beyond ℓ goes to the rarely-allocated overflow map, so the
+// per-round paths never hash strings.
+type witnessRow struct {
+	byID     []int32
+	overflow map[hom.Identifier]int
+}
+
 // Process is the Figure-7 state machine for one process. It implements
 // sim.Process.
 type Process struct {
@@ -171,15 +181,22 @@ type Process struct {
 	locks    map[hom.Value]int
 	decision hom.Value
 
-	// witnesses[mKey][id] holds the largest multiplicity accepted for the
-	// broadcast of m under id; the witness total is the sum over ids.
-	witnesses map[string]map[hom.Identifier]int
+	// keys symbolizes broadcast body keys (and the unpacked envelope
+	// message keys) for this process; witnesses is indexed by the body
+	// key's KeyID, and witnesses[kid] holds, per identifier, the largest
+	// multiplicity accepted for the broadcast of that body under that
+	// identifier. The witness total is the sum over identifiers.
+	keys      *msg.Interner
+	kb        msg.KeyBuilder
+	witnesses []witnessRow
 	// maxAcceptPhase is the largest phase tag seen on any accepted
 	// propose/vote payload; it bounds the lock-release scan.
 	maxAcceptPhase int
 
 	// Per-phase transient state.
 	lockSeen map[hom.Value]bool
+	// unpackBuf is the scratch delivery slice behind the unpacked inbox.
+	unpackBuf []msg.Message
 }
 
 var _ sim.Process = (*Process)(nil)
@@ -197,8 +214,21 @@ func (pr *Process) Init(ctx sim.Context) {
 	pr.proper = hom.NewValueSet(ctx.Input)
 	pr.locks = make(map[hom.Value]int)
 	pr.decision = hom.NoValue
-	pr.witnesses = make(map[string]map[hom.Identifier]int)
+	pr.keys = msg.NewPooledInterner()
+	pr.witnesses = nil
 	pr.lockSeen = make(map[hom.Value]bool)
+}
+
+// Release implements sim.Releaser: the engines call it after the
+// execution, recycling the broadcast table and the intern scratch.
+func (pr *Process) Release() {
+	if pr.bc != nil {
+		pr.bc.Release()
+	}
+	if pr.keys != nil {
+		pr.keys.Recycle()
+		pr.keys = nil
+	}
 }
 
 // phasePos decomposes a 1-based round into the 0-based phase and 1-based
@@ -216,10 +246,54 @@ func (pr *Process) isLeader(phase int) bool {
 	return pr.id == LeaderID(phase, pr.params.L)
 }
 
-// witnessCount sums the per-identifier multiplicities accepted for m.
-func (pr *Process) witnessCount(m msg.Payload) int {
+// proposeKID and voteKID symbolize the body keys of the phase broadcasts
+// without materialising the payloads or their key strings: the bytes are
+// rebuilt in scratch (identical to ProposePayload.Key/VotePayload.Key)
+// and interned, so a known key costs one hash lookup and no allocation.
+func (pr *Process) proposeKID(phase int, v hom.Value) msg.KeyID {
+	return pr.kb.Reset("npropose").Int(phase).Value(v).Intern(pr.keys)
+}
+
+func (pr *Process) voteKID(phase int, v hom.Value) msg.KeyID {
+	return pr.kb.Reset("nvote").Int(phase).Value(v).Intern(pr.keys)
+}
+
+// addWitness records an accepted multiplicity for (body kid, identifier),
+// keeping the per-identifier maximum.
+func (pr *Process) addWitness(kid msg.KeyID, id hom.Identifier, alpha int) {
+	for int(kid) >= len(pr.witnesses) {
+		pr.witnesses = append(pr.witnesses, witnessRow{})
+	}
+	row := &pr.witnesses[kid]
+	if id.IsValid(pr.params.L) {
+		if row.byID == nil {
+			row.byID = make([]int32, pr.params.L+1)
+		}
+		if alpha > int(row.byID[id]) {
+			row.byID[id] = int32(alpha)
+		}
+		return
+	}
+	if row.overflow == nil {
+		row.overflow = make(map[hom.Identifier]int)
+	}
+	if alpha > row.overflow[id] {
+		row.overflow[id] = alpha
+	}
+}
+
+// witnessCount sums the per-identifier multiplicities accepted for the
+// body with the given KeyID.
+func (pr *Process) witnessCount(kid msg.KeyID) int {
+	if int(kid) >= len(pr.witnesses) {
+		return 0
+	}
+	row := &pr.witnesses[kid]
 	total := 0
-	for _, a := range pr.witnesses[m.Key()] {
+	for _, a := range row.byID {
+		total += int(a)
+	}
+	for _, a := range row.overflow {
 		total += a
 	}
 	return total
@@ -287,7 +361,7 @@ func (pr *Process) proposableValues() hom.ValueSet {
 func (pr *Process) pickWitnessed(phase, need int) (hom.Value, bool) {
 	var candidates []hom.Value
 	for _, v := range pr.knownValues() {
-		if pr.witnessCount(ProposePayload{Phase: phase, Val: v}) >= need {
+		if pr.witnessCount(pr.proposeKID(phase, v)) >= need {
 			candidates = append(candidates, v)
 		}
 	}
@@ -299,7 +373,7 @@ func (pr *Process) pickWitnessed(phase, need int) (hom.Value, bool) {
 func (pr *Process) pickVoteValue(phase, need int) (hom.Value, bool) {
 	var candidates []hom.Value
 	for v := range pr.lockSeen {
-		if pr.witnessCount(ProposePayload{Phase: phase, Val: v}) >= need {
+		if pr.witnessCount(pr.proposeKID(phase, v)) >= need {
 			candidates = append(candidates, v)
 		}
 	}
@@ -311,7 +385,7 @@ func (pr *Process) pickVoteValue(phase, need int) (hom.Value, bool) {
 func (pr *Process) pickAckValue(phase, need int) (hom.Value, bool) {
 	var candidates []hom.Value
 	for _, v := range pr.knownValues() {
-		if pr.witnessCount(VotePayload{Phase: phase, Val: v}) >= need {
+		if pr.witnessCount(pr.voteKID(phase, v)) >= need {
 			candidates = append(candidates, v)
 		}
 	}
@@ -338,29 +412,35 @@ func smallest(candidates []hom.Value) (hom.Value, bool) {
 // unpack flattens received envelopes into their parts, preserving copy
 // counts (a sender's k envelope copies become k copies of each part).
 // Non-envelope payloads pass through, so hand-crafted Byzantine parts are
-// still processed.
-func unpack(in *msg.Inbox) *msg.Inbox {
-	var raw []msg.Message
+// still processed. Part messages are interned against the process-local
+// table and the result is a pooled inbox, so the steady-state unpack path
+// reuses its buffers; callers must Recycle the returned inbox.
+func (pr *Process) unpack(in *msg.Inbox) *msg.Inbox {
+	raw := pr.unpackBuf[:0]
 	for _, m := range in.Messages() {
 		copies := in.Count(m)
 		parts := []msg.Payload{m.Body}
 		if env, ok := m.Body.(Envelope); ok {
 			parts = env.Parts
 		}
-		for c := 0; c < copies; c++ {
-			for _, part := range parts {
-				if part != nil {
-					raw = append(raw, msg.Message{ID: m.ID, Body: part})
-				}
+		for _, part := range parts {
+			if part == nil {
+				continue
+			}
+			im := msg.NewMessageInterned(pr.keys, m.ID, part)
+			for c := 0; c < copies; c++ {
+				raw = append(raw, im)
 			}
 		}
 	}
-	return msg.NewInbox(in.Numerate(), raw)
+	pr.unpackBuf = raw
+	return msg.NewPooledInbox(in.Numerate(), raw)
 }
 
 // Receive implements sim.Process.
 func (pr *Process) Receive(round int, rawIn *msg.Inbox) {
-	in := unpack(rawIn)
+	in := pr.unpack(rawIn)
+	defer in.Recycle()
 	phase, pos := phasePos(round)
 	need := pr.params.N - pr.params.T
 
@@ -368,6 +448,7 @@ func (pr *Process) Receive(round int, rawIn *msg.Inbox) {
 	// checking that the superround tag matches the payload's phase slot
 	// (a Byzantine init at the wrong superround is discarded here).
 	for _, acc := range pr.bc.Ingest(round, in) {
+		var kid msg.KeyID
 		switch body := acc.Body.(type) {
 		case ProposePayload:
 			if acc.SR != proposeSR(body.Phase) {
@@ -376,6 +457,7 @@ func (pr *Process) Receive(round int, rawIn *msg.Inbox) {
 			if body.Phase > pr.maxAcceptPhase {
 				pr.maxAcceptPhase = body.Phase
 			}
+			kid = pr.proposeKID(body.Phase, body.Val)
 		case VotePayload:
 			if acc.SR != voteSR(body.Phase) {
 				continue
@@ -383,18 +465,11 @@ func (pr *Process) Receive(round int, rawIn *msg.Inbox) {
 			if body.Phase > pr.maxAcceptPhase {
 				pr.maxAcceptPhase = body.Phase
 			}
+			kid = pr.voteKID(body.Phase, body.Val)
 		default:
 			continue
 		}
-		key := acc.Body.Key()
-		byID := pr.witnesses[key]
-		if byID == nil {
-			byID = make(map[hom.Identifier]int)
-			pr.witnesses[key] = byID
-		}
-		if acc.Alpha > byID[acc.ID] {
-			byID[acc.ID] = acc.Alpha
-		}
+		pr.addWitness(kid, acc.ID, acc.Alpha)
 	}
 
 	pr.updateProper(in)
@@ -417,7 +492,7 @@ func (pr *Process) Receive(round int, rawIn *msg.Inbox) {
 			}
 			var candidates []hom.Value
 			for v, copies := range ackCopies {
-				if copies >= need && pr.witnessCount(ProposePayload{Phase: phase, Val: v}) >= need {
+				if copies >= need && pr.witnessCount(pr.proposeKID(phase, v)) >= need {
 					candidates = append(candidates, v)
 				}
 			}
@@ -471,7 +546,7 @@ func (pr *Process) releaseLocks(need int) {
 				if v2 == v1 {
 					continue
 				}
-				if pr.witnessCount(VotePayload{Phase: ph2, Val: v2}) >= need {
+				if pr.witnessCount(pr.voteKID(ph2, v2)) >= need {
 					delete(pr.locks, v1)
 					break scan
 				}

@@ -112,11 +112,22 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 
 	// Spawn one goroutine per correct process. Each worker loops on its
 	// prepare channel; closing it shuts the worker down. Replies flow
-	// through shared, coordinator-drained channels.
+	// through shared, coordinator-drained channels. stop is registered
+	// before the spawn loop so an error part-way through (nil factory)
+	// still joins the workers already running.
 	var wg sync.WaitGroup
 	workers := make([]*worker, n)
 	prepareOut := make(chan prepareResp)
 	decisionOut := make(chan decisionResp)
+	stop := func() {
+		for _, w := range workers {
+			if w != nil {
+				close(w.prepare)
+			}
+		}
+		wg.Wait()
+	}
+	defer stop()
 	for s := 0; s < n; s++ {
 		if isBad[s] {
 			continue
@@ -143,18 +154,15 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 				v, ok := w.proc.Decision()
 				decisionOut <- decisionResp{slot: w.slot, value: v, decided: ok}
 			}
+			// The coordinator closed the prepare channel: the execution is
+			// over, so the process can return its arenas to their pools.
+			// Doing it here keeps Release on the goroutine that owned the
+			// process state, joined before Run returns.
+			if r, ok := w.proc.(sim.Releaser); ok {
+				r.Release()
+			}
 		}()
 	}
-	stop := func() {
-		for _, w := range workers {
-			if w != nil {
-				close(w.prepare)
-			}
-		}
-		wg.Wait()
-	}
-	defer stop()
-
 	visible := func(from, to int) bool {
 		if cfg.Visibility == nil {
 			return true
@@ -174,10 +182,22 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 	}
 
 	// Per-round scratch, allocated once and reused across rounds — the
-	// same allocation discipline as the sequential kernel.
+	// same allocation discipline as the sequential kernel. The intern
+	// table lives on the coordinator: messages are symbolized in delivery
+	// order (identical to the sequential kernel's), never from worker
+	// goroutines, so KeyID assignment matches sim.Run exactly.
+	intern := cfg.Interner
+	ownIntern := intern == nil
+	if ownIntern {
+		intern = msg.NewPooledInterner()
+		defer intern.Recycle()
+	} else {
+		intern.Reset()
+	}
 	correctSends := make(map[int][]msg.Send, liveWorkers)
 	byzSends := make([][]msg.TargetedSend, n)
-	raw := make([][]msg.Message, n)
+	var sendArena []msg.Message
+	rawIdx := make([][]int32, n)
 	perRecipient := make([]int, n)
 	inboxes := make([]*msg.Inbox, n)
 	var deliveries []msg.Delivered
@@ -214,29 +234,32 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 			}
 		}
 
-		// Phase 3: routing — identical rules to the sequential kernel.
+		// Phase 3: routing — identical rules to the sequential kernel:
+		// sends stamped once into the round's arena, deliveries routed as
+		// int32 arena indices.
 		for to := 0; to < n; to++ {
-			raw[to] = raw[to][:0]
+			rawIdx[to] = rawIdx[to][:0]
 		}
+		sendArena = sendArena[:0]
 		deliveries = deliveries[:0]
-		dropsOK := dropsAllowed(round)
+		dropsOK := dropsAllowed(round) && cfg.Adversary != nil
 		record := cfg.RecordTraffic || observer != nil
-		deliver := func(from, to int, m msg.Message, keyLen int) {
+		deliver := func(from, to int, si int32, keyLen int) {
 			res.Stats.MessagesSent++
 			if !visible(from, to) {
 				return
 			}
-			if from != to && dropsOK && cfg.Adversary != nil && cfg.Adversary.Drop(round, from, to) {
+			if from != to && dropsOK && cfg.Adversary.Drop(round, from, to) {
 				res.Stats.MessagesDropped++
 				return
 			}
 			if !isBad[to] {
-				raw[to] = append(raw[to], m)
+				rawIdx[to] = append(rawIdx[to], si)
 			}
 			res.Stats.MessagesDelivered++
 			res.Stats.PayloadBytes += keyLen
 			if record {
-				deliveries = append(deliveries, msg.Delivered{Round: round, FromSlot: from, ToSlot: to, Msg: m})
+				deliveries = append(deliveries, msg.Delivered{Round: round, FromSlot: from, ToSlot: to, Msg: sendArena[si]})
 			}
 		}
 		for from := 0; from < n; from++ {
@@ -245,16 +268,17 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 			}
 			for _, snd := range correctSends[from] {
 				bodyKey := snd.Body.Key()
-				m := msg.NewMessageKeyed(cfg.Assignment[from], snd.Body, bodyKey)
+				si := int32(len(sendArena))
+				sendArena = append(sendArena, msg.NewMessageKeyedInterned(intern, cfg.Assignment[from], snd.Body, bodyKey))
 				switch snd.Kind {
 				case msg.ToAll:
 					for to := 0; to < n; to++ {
-						deliver(from, to, m, len(bodyKey))
+						deliver(from, to, si, len(bodyKey))
 					}
 				case msg.ToIdentifier:
 					for to := 0; to < n; to++ {
 						if cfg.Assignment[to] == snd.To {
-							deliver(from, to, m, len(bodyKey))
+							deliver(from, to, si, len(bodyKey))
 						}
 					}
 				}
@@ -281,7 +305,9 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 					perRecipient[ts.ToSlot]++
 				}
 				bodyKey := ts.Body.Key()
-				deliver(from, ts.ToSlot, msg.NewMessageKeyed(cfg.Assignment[from], ts.Body, bodyKey), len(bodyKey))
+				si := int32(len(sendArena))
+				sendArena = append(sendArena, msg.NewMessageKeyedInterned(intern, cfg.Assignment[from], ts.Body, bodyKey))
+				deliver(from, ts.ToSlot, si, len(bodyKey))
 			}
 			byzSends[from] = nil
 		}
@@ -291,7 +317,7 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 		// be recycled once all decisions are in.
 		for _, w := range workers {
 			if w != nil {
-				in := msg.NewPooledInbox(cfg.Params.Numerate, raw[w.slot])
+				in := msg.NewPooledInboxIndexed(cfg.Params.Numerate, sendArena, rawIdx[w.slot])
 				inboxes[w.slot] = in
 				w.receive <- receiveReq{round: round, inbox: in}
 			}

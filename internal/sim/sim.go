@@ -139,6 +139,22 @@ type Config struct {
 	// RecordTraffic stores every delivery in the result (memory-heavy;
 	// for debugging and the attack experiments).
 	RecordTraffic bool
+	// Interner optionally supplies the execution's key intern table. It
+	// is engine scratch: the engine resets it before round 1 and interns
+	// every delivered message's canonical key into it, so KeyID
+	// assignment is a pure function of the execution (identical across
+	// engines and worker counts). Nil means the engine acquires one from
+	// the shared pool and recycles it when the run ends; pass one
+	// explicitly only to inspect the table afterwards.
+	Interner *msg.Interner
+}
+
+// Releaser is an optional Process extension: after an execution finishes,
+// the engines call Release on every correct process that implements it,
+// so protocol implementations can return arena-backed tables and intern
+// scratch to their pools for the next execution.
+type Releaser interface {
+	Release()
 }
 
 // Validation errors for Config.
@@ -252,10 +268,13 @@ type engine struct {
 	correctSends [][]msg.Send         // per sender slot; nil when silent
 	byzSends     [][]msg.TargetedSend // per sender slot; only corrupted used
 	sendsView    map[int][]msg.Send   // the View's CorrectSends, cleared per round
-	raw          [][]msg.Message      // per receiver slot, truncated per round
+	sendArena    []msg.Message        // the round's stamped sends, one entry per send
+	rawIdx       [][]int32            // per receiver slot: indices into sendArena
 	perRecipient []int                // restricted-Byzantine budget counters
 	view         View                 // handed to the adversary each round
 	deliveries   []msg.Delivered      // traffic/observer buffer, truncated per round
+	intern       *msg.Interner        // per-execution key symbolization table
+	ownIntern    bool                 // the engine pooled it and must recycle it
 }
 
 func newEngine(cfg Config) (*engine, error) {
@@ -315,10 +334,17 @@ func newEngine(cfg Config) (*engine, error) {
 	}
 	e.correctSends = make([][]msg.Send, n)
 	e.byzSends = make([][]msg.TargetedSend, n)
-	e.raw = make([][]msg.Message, n)
+	e.rawIdx = make([][]int32, n)
 	e.perRecipient = make([]int, n)
 	if cfg.Adversary != nil && len(e.corrupted) > 0 {
 		e.sendsView = make(map[int][]msg.Send, n)
+	}
+	if cfg.Interner != nil {
+		e.intern = cfg.Interner
+		e.intern.Reset()
+	} else {
+		e.intern = msg.NewPooledInterner()
+		e.ownIntern = true
 	}
 	return e, nil
 }
@@ -353,6 +379,15 @@ func (e *engine) run() (*Result, error) {
 		}
 	}
 	e.res.AllDecided = e.allCorrectDecided()
+	for _, p := range e.procs {
+		if r, ok := p.(Releaser); ok {
+			r.Release()
+		}
+	}
+	if e.ownIntern {
+		e.intern.Recycle()
+		e.intern = nil
+	}
 	return e.res, nil
 }
 
@@ -398,33 +433,36 @@ func (e *engine) step(round int) {
 		}
 	}
 
-	// Phase 3: expand, filter, deliver.
+	// Phase 3: expand, filter, deliver. Each send is stamped (and its key
+	// interned) exactly once into the round's send arena; routing then
+	// moves only int32 arena indices, so the n^2 delivery fan-out never
+	// copies pointer-laden Message structs.
 	for to := 0; to < e.n; to++ {
-		e.raw[to] = e.raw[to][:0]
+		e.rawIdx[to] = e.rawIdx[to][:0]
 	}
+	e.sendArena = e.sendArena[:0]
 	deliveries := e.deliveries[:0]
-	dropsOK := e.dropsAllowed(round)
+	dropsOK := e.dropsAllowed(round) && e.cfg.Adversary != nil
 	record := e.cfg.RecordTraffic || e.observer != nil
 
-	// deliver routes one message copy. The Message (with its canonical key)
-	// is built once per send by the callers; keyLen is the sender payload's
-	// key length, accumulated as the bandwidth proxy.
-	deliver := func(from, to int, m msg.Message, keyLen int) {
+	// deliver routes one copy of arena entry si; keyLen is the sender
+	// payload's key length, accumulated as the bandwidth proxy.
+	deliver := func(from, to int, si int32, keyLen int) {
 		e.res.Stats.MessagesSent++
 		if !e.visible(from, to) {
 			return
 		}
-		if from != to && dropsOK && e.cfg.Adversary != nil && e.cfg.Adversary.Drop(round, from, to) {
+		if from != to && dropsOK && e.cfg.Adversary.Drop(round, from, to) {
 			e.res.Stats.MessagesDropped++
 			return
 		}
 		if !e.isBad[to] {
-			e.raw[to] = append(e.raw[to], m)
+			e.rawIdx[to] = append(e.rawIdx[to], si)
 		}
 		e.res.Stats.MessagesDelivered++
 		e.res.Stats.PayloadBytes += keyLen
 		if record {
-			deliveries = append(deliveries, msg.Delivered{Round: round, FromSlot: from, ToSlot: to, Msg: m})
+			deliveries = append(deliveries, msg.Delivered{Round: round, FromSlot: from, ToSlot: to, Msg: e.sendArena[si]})
 		}
 	}
 
@@ -434,16 +472,17 @@ func (e *engine) step(round int) {
 		}
 		for _, s := range e.correctSends[from] {
 			bodyKey := s.Body.Key()
-			m := msg.NewMessageKeyed(e.cfg.Assignment[from], s.Body, bodyKey)
+			si := int32(len(e.sendArena))
+			e.sendArena = append(e.sendArena, msg.NewMessageKeyedInterned(e.intern, e.cfg.Assignment[from], s.Body, bodyKey))
 			switch s.Kind {
 			case msg.ToAll:
 				for to := 0; to < e.n; to++ {
-					deliver(from, to, m, len(bodyKey))
+					deliver(from, to, si, len(bodyKey))
 				}
 			case msg.ToIdentifier:
 				for to := 0; to < e.n; to++ {
 					if e.cfg.Assignment[to] == s.To {
-						deliver(from, to, m, len(bodyKey))
+						deliver(from, to, si, len(bodyKey))
 					}
 				}
 			}
@@ -470,7 +509,9 @@ func (e *engine) step(round int) {
 				e.perRecipient[ts.ToSlot]++
 			}
 			bodyKey := ts.Body.Key()
-			deliver(from, ts.ToSlot, msg.NewMessageKeyed(e.cfg.Assignment[from], ts.Body, bodyKey), len(bodyKey))
+			si := int32(len(e.sendArena))
+			e.sendArena = append(e.sendArena, msg.NewMessageKeyedInterned(e.intern, e.cfg.Assignment[from], ts.Body, bodyKey))
+			deliver(from, ts.ToSlot, si, len(bodyKey))
 		}
 		e.byzSends[from] = nil
 	}
@@ -482,7 +523,7 @@ func (e *engine) step(round int) {
 		if e.isBad[to] {
 			continue
 		}
-		in := msg.NewPooledInbox(e.cfg.Params.Numerate, e.raw[to])
+		in := msg.NewPooledInboxIndexed(e.cfg.Params.Numerate, e.sendArena, e.rawIdx[to])
 		e.procs[to].Receive(round, in)
 		in.Recycle()
 		if e.decidedAt[to] == 0 {
