@@ -54,7 +54,7 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output file")
+	out := flag.String("out", "BENCH_PR4.json", "output file")
 	compare := flag.String("compare", "", "baseline JSON file, directory or glob to gate against instead of writing a record")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed relative regression in -compare mode")
 	flag.Parse()
@@ -84,9 +84,12 @@ func main() {
 // across hosts.
 var gatedAllocBenches = []string{
 	"engine_broadcast_50r_n16",
+	"engine_batched_50r_n16",
+	"engine_permessage_50r_n16",
 	"inbox_now_build",
 	"inbox_now_build_pooled_keyed",
 	"inbox_interned_build_pooled",
+	"inbox_soa_build_pooled",
 	"inbox_now_count",
 	"protocol_table_authbcast_ingest",
 	"protocol_table_numbcast_ingest",
@@ -305,7 +308,7 @@ func run(out string) error {
 // collect measures the full benchmark suite in-process.
 func collect() (*record, error) {
 	rec := record{
-		Record:     "BENCH_PR3",
+		Record:     "BENCH_PR4",
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchmarks: map[string]metric{},
@@ -313,6 +316,8 @@ func collect() (*record, error) {
 		Notes: []string{
 			"inbox_baseline_* reimplements the pre-PR-1 msg layer (keys rebuilt per call, sort.Slice per inbox) and runs in-process for a like-for-like ratio",
 			"inbox_interned_build_pooled is the PR-3 engine path: messages symbolized to dense KeyIDs, counts in a KeyID-indexed array, zero steady-state allocations",
+			"inbox_soa_* is the PR-4 engine path: the send arena split into parallel (id, kid, body) columns; fill and the indexed receive scan touch only the integer columns",
+			"engine_batched_* vs engine_permessage_* compare the PR-4 per-recipient batch routing (the default) against the per-message reference path on the same workload; engine_broadcast_50r_n16 keeps its name and measures the default configuration",
 			"protocol_table_* measure the arena-backed broadcast tables (PR 3); the matrix pair records workers/gomaxprocs so single-core runs are not misread as scheduler regressions",
 		},
 	}
@@ -358,6 +363,41 @@ func collect() (*record, error) {
 		}
 	})
 
+	// The SoA engine path (PR 4): the same deliveries as a
+	// structure-of-arrays arena. The fill touches only the KeyID column;
+	// the scan is a protocol-style receive loop over the indexed
+	// accessors, never materialising a []Message view.
+	soaIntern := msg.NewInterner()
+	var soaArena msg.SendArena
+	soaIdx := make([]int32, 0, len(raw))
+	for _, m := range raw {
+		soaIdx = append(soaIdx, soaArena.Append(soaIntern, m.ID, m.Body, m.Body.Key()))
+	}
+	rec.Benchmarks["inbox_soa_build_pooled"] = measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			in := msg.NewPooledInboxSoA(true, &soaArena, soaIdx)
+			if in.Len() == 0 {
+				b.Fatal("empty inbox")
+			}
+			in.Recycle()
+		}
+	})
+	rec.Benchmarks["inbox_soa_indexed_scan"] = func() metric {
+		in := msg.NewPooledInboxSoA(true, &soaArena, soaIdx)
+		defer in.Recycle()
+		return measure(func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				for j, k := 0, in.Len(); j < k; j++ {
+					if in.SenderAt(j) != 0 {
+						total += in.CountAt(j)
+					}
+				}
+			}
+			_ = total
+		})
+	}()
+
 	// Count: baseline (key rebuilt per call) vs current (cached key).
 	base := newBaselineInbox(true, raw)
 	rec.Benchmarks["inbox_baseline_count"] = measure(func(b *testing.B) {
@@ -382,22 +422,32 @@ func collect() (*record, error) {
 	})
 
 	// Engine throughput: 50 all-to-all broadcast rounds at n=16.
-	rec.Benchmarks["engine_broadcast_50r_n16"] = measure(func(b *testing.B) {
-		p := hom.Params{N: 16, L: 16, T: 0, Synchrony: hom.Synchronous}
-		inputs := make([]hom.Value, 16)
-		for i := 0; i < b.N; i++ {
-			_, err := sim.Run(sim.Config{
-				Params:     p,
-				Assignment: hom.RoundRobinAssignment(16, 16),
-				Inputs:     inputs,
-				NewProcess: func(int) sim.Process { return &flooder{} },
-				MaxRounds:  50,
-			})
-			if err != nil {
-				b.Fatal(err)
+	// engine_broadcast_50r_n16 measures the default configuration (batched
+	// since PR 4); the engine_batched_/engine_permessage_ pair pins the
+	// two delivery modes explicitly on the identical workload.
+	engineBench := func(mode sim.DeliveryMode) metric {
+		return measure(func(b *testing.B) {
+			p := hom.Params{N: 16, L: 16, T: 0, Synchrony: hom.Synchronous}
+			inputs := make([]hom.Value, 16)
+			for i := 0; i < b.N; i++ {
+				_, err := sim.Run(sim.Config{
+					Params:     p,
+					Assignment: hom.RoundRobinAssignment(16, 16),
+					Inputs:     inputs,
+					NewProcess: func(int) sim.Process { return &flooder{} },
+					MaxRounds:  50,
+					Delivery:   mode,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
+		})
+	}
+	batched := engineBench(sim.DeliverBatched)
+	rec.Benchmarks["engine_broadcast_50r_n16"] = batched
+	rec.Benchmarks["engine_batched_50r_n16"] = batched
+	rec.Benchmarks["engine_permessage_50r_n16"] = engineBench(sim.DeliverPerMessage)
 
 	// Protocol tables (PR 3): the arena-backed broadcast primitives
 	// ingesting a steady stream of echoes — the per-delivery table path
@@ -459,6 +509,10 @@ func collect() (*record, error) {
 	rec.Derived["matrix_parallel_speedup_x"] = div(
 		rec.Benchmarks["matrix_sequential"].NsPerOp,
 		rec.Benchmarks["matrix_parallel"].NsPerOp)
+	rec.Derived["inbox_soa_allocs_per_op"] = float64(rec.Benchmarks["inbox_soa_build_pooled"].AllocsPerOp)
+	rec.Derived["engine_batched_vs_permessage_x"] = div(
+		rec.Benchmarks["engine_permessage_50r_n16"].NsPerOp,
+		rec.Benchmarks["engine_batched_50r_n16"].NsPerOp)
 	rec.Derived["workers"] = float64(exec.Workers())
 	return &rec, nil
 }

@@ -47,6 +47,24 @@ type DropPolicy interface {
 	Drop(round, fromSlot, toSlot int) bool
 }
 
+// BatchDropPolicy is an optional DropPolicy extension consumed by the
+// engines' batched delivery path: the whole per-recipient batch is
+// masked in one call instead of one Drop call per message. drop[i] must
+// be set to the verdict for the message from fromSlots[i] to toSlot
+// (entries arrive zeroed, so implementations only write true).
+//
+// The verdict for each pair must equal what Drop(round, fromSlots[i],
+// toSlot) returns — the batch form is an optimisation, never a semantic
+// change — and therefore must stay a pure function of (round, from, to).
+// This is what keeps batched and per-message routing byte-identical.
+// Policies that can hoist recipient-level work out of the per-message
+// loop (a target-set membership test, a partition group lookup)
+// implement it; everything else is adapted by Composite's per-message
+// fallback shim.
+type BatchDropPolicy interface {
+	DropBatch(round, toSlot int, fromSlots []int32, drop []bool)
+}
+
 // Composite assembles a full sim.Adversary from the three pieces. Nil
 // pieces default to: corrupt nobody, send nothing, drop nothing.
 type Composite struct {
@@ -79,6 +97,26 @@ func (c *Composite) Drop(round, fromSlot, toSlot int) bool {
 		return false
 	}
 	return c.Drops.Drop(round, fromSlot, toSlot)
+}
+
+var _ sim.BatchDropper = (*Composite)(nil)
+
+// DropBatch implements sim.BatchDropper: the batched engines mask one
+// recipient's whole delivery batch in a single call. A policy that
+// implements BatchDropPolicy is invoked vectorised; any other policy is
+// replayed through its per-message Drop, so existing pieces keep working
+// unchanged under batched delivery. A nil policy leaves the mask zeroed
+// (nothing dropped).
+func (c *Composite) DropBatch(round, toSlot int, fromSlots []int32, drop []bool) {
+	switch d := c.Drops.(type) {
+	case nil:
+	case BatchDropPolicy:
+		d.DropBatch(round, toSlot, fromSlots, drop)
+	default:
+		for i, from := range fromSlots {
+			drop[i] = d.Drop(round, int(from), toSlot)
+		}
+	}
 }
 
 // NewRand returns the deterministic per-scenario stream shared by one
@@ -345,6 +383,9 @@ type NoDrops struct{}
 // Drop implements DropPolicy.
 func (NoDrops) Drop(int, int, int) bool { return false }
 
+// DropBatch implements BatchDropPolicy: the mask stays zeroed.
+func (NoDrops) DropBatch(int, int, []int32, []bool) {}
+
 // RandomDrops suppresses each (round, from, to) delivery independently
 // with probability Prob, deterministically in Seed. The engine already
 // refuses drops at or after GST and on self-deliveries.
@@ -358,6 +399,19 @@ func (r RandomDrops) Drop(round, from, to int) bool {
 	h := int64(round)*1_000_003 + int64(from)*10_007 + int64(to)
 	rng := rand.New(rand.NewSource(r.Seed ^ h))
 	return rng.Float64() < r.Prob
+}
+
+// DropBatch implements BatchDropPolicy. Each pair's verdict is the same
+// hash-pure function as Drop; the batch form hoists the per-recipient
+// part of the hash out of the loop.
+func (r RandomDrops) DropBatch(round, toSlot int, fromSlots []int32, drop []bool) {
+	partial := int64(round)*1_000_003 + int64(toSlot)
+	for i, from := range fromSlots {
+		rng := rand.New(rand.NewSource(r.Seed ^ (partial + int64(from)*10_007)))
+		if rng.Float64() < r.Prob {
+			drop[i] = true
+		}
+	}
 }
 
 // TargetedDrops isolates chosen victim slots before GST: it suppresses
@@ -384,6 +438,34 @@ func (td TargetedDrops) Drop(_, from, to int) bool {
 	return false
 }
 
+// DropBatch implements BatchDropPolicy. The recipient-side test (is
+// toSlot a target?) is decided once for the whole batch: an inbound
+// target drops everything in one pass, and only the outbound membership
+// test remains per sender.
+func (td TargetedDrops) DropBatch(_, toSlot int, fromSlots []int32, drop []bool) {
+	if td.Inbound {
+		for _, s := range td.Targets {
+			if s == toSlot {
+				for i := range drop {
+					drop[i] = true
+				}
+				return
+			}
+		}
+	}
+	if !td.Outbound {
+		return
+	}
+	for i, from := range fromSlots {
+		for _, s := range td.Targets {
+			if s == int(from) {
+				drop[i] = true
+				break
+			}
+		}
+	}
+}
+
 // PartitionDrops suppresses every message that crosses between groups, as
 // in the paper's Figure-4 construction. GroupOf maps a slot to its side;
 // slots mapped to a negative group are never partitioned.
@@ -398,6 +480,24 @@ func (p PartitionDrops) Drop(_, from, to int) bool {
 	}
 	gf, gt := p.GroupOf(from), p.GroupOf(to)
 	return gf >= 0 && gt >= 0 && gf != gt
+}
+
+// DropBatch implements BatchDropPolicy: the recipient's group is looked
+// up once per batch instead of once per message, and an unpartitioned
+// recipient (negative group) short-circuits the whole batch.
+func (p PartitionDrops) DropBatch(_, toSlot int, fromSlots []int32, drop []bool) {
+	if p.GroupOf == nil {
+		return
+	}
+	gt := p.GroupOf(toSlot)
+	if gt < 0 {
+		return
+	}
+	for i, from := range fromSlots {
+		if gf := p.GroupOf(int(from)); gf >= 0 && gf != gt {
+			drop[i] = true
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -175,32 +175,36 @@ func (b *Broadcaster) Outgoing(round int) []msg.Payload {
 }
 
 // Ingest processes the round's inbox and returns the Accept actions newly
-// performed this round, in deterministic (first-sight) order.
+// performed this round, in deterministic (first-sight) order. It iterates
+// the inbox through the indexed accessors, so the engine's SoA inbox
+// never materialises a []Message view for the broadcast layer.
 func (b *Broadcaster) Ingest(round int, in *msg.Inbox) []Accept {
 	sr := Superround(round)
+	k := in.Len()
 	// ⟨init⟩ messages are only meaningful in the first round of a
 	// superround; an init from identifier i starts the (m, sr, i) tuple.
 	if IsInitRound(round) {
-		for _, m := range in.Messages() {
-			ip, ok := m.Body.(InitPayload)
+		for i := 0; i < k; i++ {
+			ip, ok := in.BodyAt(i).(InitPayload)
 			if !ok || ip.Body == nil {
 				continue
 			}
-			b.tab.tuples[b.tuple(ip.Body, sr, m.ID)].echoing = true
+			b.tab.tuples[b.tuple(ip.Body, sr, in.SenderAt(i))].echoing = true
 		}
 	}
 	// ⟨echo⟩ messages accumulate per-tuple distinct-identifier support in
 	// the bitmap arena.
-	for _, m := range in.Messages() {
-		ep, ok := m.Body.(EchoPayload)
+	for i := 0; i < k; i++ {
+		ep, ok := in.BodyAt(i).(EchoPayload)
 		if !ok || ep.Body == nil || ep.SR < 1 || ep.SR > sr || !ep.ID.IsValid(b.l) {
 			continue
 		}
-		if !m.ID.IsValid(b.l) {
+		sender := in.SenderAt(i)
+		if !sender.IsValid(b.l) {
 			continue
 		}
 		ts := &b.tab.tuples[b.tuple(ep.Body, ep.SR, ep.ID)]
-		if seen := &b.tab.echoers[int(ts.echoOff)+int(m.ID)]; !*seen {
+		if seen := &b.tab.echoers[int(ts.echoOff)+int(sender)]; !*seen {
 			*seen = true
 			ts.echoes++
 		}

@@ -93,14 +93,23 @@ func validateDomain(domain []hom.Value) error {
 // FilterEquivocators keeps at most one message per identifier: if an
 // identifier delivered two or more distinct payloads this round, all of
 // its messages are removed (the receiver knows the identifier misbehaved —
-// paper Figure 3, lines 12–14). The result is sorted by identifier.
+// paper Figure 3, lines 12–14). The result is sorted by identifier. One
+// pass over the indexed sorted view: messages arrive grouped by
+// identifier, so a singleton group is detected by adjacency without
+// materialising the inbox's []Message view.
 func FilterEquivocators(in *msg.Inbox) []msg.Message {
 	var out []msg.Message
-	for _, id := range in.DistinctIdentifiers(nil) {
-		ms := in.FromIdentifier(id)
-		if len(ms) == 1 {
-			out = append(out, ms[0])
+	k := in.Len()
+	for i := 0; i < k; {
+		id := in.SenderAt(i)
+		j := i + 1
+		for j < k && in.SenderAt(j) == id {
+			j++
 		}
+		if j == i+1 {
+			out = append(out, in.MessageAt(i))
+		}
+		i = j
 	}
 	return out
 }

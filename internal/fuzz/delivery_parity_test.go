@@ -1,0 +1,139 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"homonyms/internal/exec"
+	"homonyms/internal/runtime"
+	"homonyms/internal/sim"
+)
+
+// corpusScenarios loads every committed regression seed's scenario,
+// keeping only the ones whose config assembles (the corpus contains no
+// others, but the guard keeps the test honest if one is ever added).
+func corpusScenarios(t *testing.T) []Scenario {
+	t.Helper()
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatalf("read corpus: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatal("no committed regression seeds found")
+	}
+	var out []Scenario
+	for _, name := range names {
+		sf, err := LoadSeed(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		if _, err := sf.Scenario.Config(); err != nil {
+			t.Logf("skipping %s: %v", name, err)
+			continue
+		}
+		out = append(out, sf.Scenario)
+	}
+	if len(out) == 0 {
+		t.Fatal("no runnable scenarios in the corpus")
+	}
+	return out
+}
+
+// resultFingerprint renders everything observable about a Result into a
+// stable string, so "byte-identical" is checked literally.
+func resultFingerprint(r *sim.Result) string {
+	return fmt.Sprintf("%+v|%+v|%v|%v|%v|%d|%d|%v|%+v|%d",
+		r.Params, r.Assignment, r.Inputs, r.Corrupted, r.Decisions,
+		r.Rounds, r.GST, r.DecidedAt, r.Stats, len(r.Traffic))
+}
+
+// TestSeedCorpusDeliveryParity is the tentpole's golden test: every
+// committed fuzz seed replays to a byte-identical sim.Result (decisions,
+// decision rounds, effective GST, full statistics) under all four engine
+// combinations — {sequential, concurrent} x {batched, per-message}.
+func TestSeedCorpusDeliveryParity(t *testing.T) {
+	for _, sc := range corpusScenarios(t) {
+		sc := sc
+		t.Run(sc.Protocol+"_"+sc.Behavior.Kind, func(t *testing.T) {
+			run := func(engine string, mode sim.DeliveryMode) string {
+				cfg, err := sc.Config()
+				if err != nil {
+					t.Fatalf("config: %v", err)
+				}
+				cfg.Delivery = mode
+				var res *sim.Result
+				if engine == "runtime" {
+					res, err = runtime.Run(cfg)
+				} else {
+					res, err = sim.Run(cfg)
+				}
+				if err != nil {
+					t.Fatalf("%s/%v: %v", engine, mode, err)
+				}
+				return resultFingerprint(res)
+			}
+			want := run("sim", sim.DeliverPerMessage)
+			for _, leg := range []struct {
+				engine string
+				mode   sim.DeliveryMode
+			}{
+				{"sim", sim.DeliverBatched},
+				{"runtime", sim.DeliverPerMessage},
+				{"runtime", sim.DeliverBatched},
+			} {
+				if got := run(leg.engine, leg.mode); got != want {
+					t.Errorf("%s/%v diverges from sim/per-message:\ngot:  %s\nwant: %s",
+						leg.engine, leg.mode, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSeedCorpusParityAcrossWorkers replays the whole corpus through the
+// exec worker pool at several worker counts, in both delivery modes: the
+// concatenated result fingerprints must be identical everywhere. This is
+// the "across worker counts" half of the acceptance criterion — pooled
+// interners, arenas and inbox shells are recycled across concurrent
+// executions, and none of it may leak into a Result.
+func TestSeedCorpusParityAcrossWorkers(t *testing.T) {
+	scenarios := corpusScenarios(t)
+	campaign := func(mode sim.DeliveryMode, workers int) string {
+		outs, err := exec.MapN(len(scenarios), workers, func(i int) (string, error) {
+			cfg, err := scenarios[i].Config()
+			if err != nil {
+				return "", err
+			}
+			cfg.Delivery = mode
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return "", err
+			}
+			return resultFingerprint(res), nil
+		})
+		if err != nil {
+			t.Fatalf("campaign (mode %v, workers %d): %v", mode, workers, err)
+		}
+		return strings.Join(outs, "\n")
+	}
+
+	want := campaign(sim.DeliverPerMessage, 1)
+	for _, workers := range []int{1, 4} {
+		for _, mode := range []sim.DeliveryMode{sim.DeliverBatched, sim.DeliverPerMessage} {
+			if got := campaign(mode, workers); got != want {
+				t.Errorf("corpus fingerprints diverge (mode %v, workers %d)", mode, workers)
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strings"
 
 	"homonyms/internal/adversary"
 	"homonyms/internal/hom"
@@ -187,6 +188,69 @@ func (sc Scenario) adversaryFor(proto protoreg.Protocol, p hom.Params) (sim.Adve
 	return &adversary.Composite{Selector: sel, Behavior: beh, Drops: drops}, nil
 }
 
+// Config assembles the scenario into a runnable sim.Config: validated
+// parameters, assignment, inputs, a fresh process factory and a freshly
+// composed adversary (with its own RNG state). Every call returns an
+// independent config, so the same scenario can be executed repeatedly —
+// under both engines, both delivery modes, or inside a worker pool — and
+// each execution sees the adversary exactly as a first run would. The
+// returned config uses the scenario's GST (clamped to 1) and round
+// budget (the protocol's suggested budget when unset) and leaves
+// Delivery at its default; callers override fields as needed.
+//
+// Run performs the same assembly internally (plus claim classification);
+// Config exists for harnesses that need the raw execution, like the
+// delivery-mode parity tests replaying the committed seed corpus.
+func (sc Scenario) Config() (sim.Config, error) {
+	proto, ok := protoreg.Get(sc.Protocol)
+	if !ok {
+		return sim.Config{}, fmt.Errorf("fuzz: unknown protocol %q (registered: %v)", sc.Protocol, protoreg.Names())
+	}
+	p := sc.Params()
+	if err := p.Validate(); err != nil {
+		return sim.Config{}, fmt.Errorf("fuzz: invalid params: %w", err)
+	}
+	if ok, why := proto.Constructible(p); !ok {
+		return sim.Config{}, fmt.Errorf("fuzz: not constructible: %s", why)
+	}
+	a, err := sc.assignment()
+	if err != nil {
+		return sim.Config{}, err
+	}
+	if len(sc.Inputs) != sc.N {
+		return sim.Config{}, fmt.Errorf("fuzz: need %d inputs, got %d", sc.N, len(sc.Inputs))
+	}
+	inputs := make([]hom.Value, sc.N)
+	for i, v := range sc.Inputs {
+		inputs[i] = hom.Value(v)
+	}
+	adv, err := sc.adversaryFor(proto, p)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	factory, err := proto.New(p)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("fuzz: factory: %w", err)
+	}
+	gst := sc.GST
+	if gst < 1 {
+		gst = 1
+	}
+	maxRounds := sc.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = proto.Rounds(p, gst)
+	}
+	return sim.Config{
+		Params:     p,
+		Assignment: a,
+		Inputs:     inputs,
+		NewProcess: factory,
+		Adversary:  adv,
+		GST:        gst,
+		MaxRounds:  maxRounds,
+	}, nil
+}
+
 // Class is the fuzzer's classification of one execution.
 type Class string
 
@@ -245,12 +309,9 @@ func Run(sc Scenario) (out *Outcome) {
 		return out
 	}
 	p := sc.Params()
-	if err := p.Validate(); err != nil {
-		out.Detail = "invalid params: " + err.Error()
-		return out
-	}
-	if ok, why := proto.Constructible(p); !ok {
-		out.Detail = "not constructible: " + why
+	cfg, err := sc.Config()
+	if err != nil {
+		out.Detail = strings.TrimPrefix(err.Error(), "fuzz: ")
 		return out
 	}
 	out.Claims, out.ClaimsWhy = proto.Claims(p)
@@ -267,52 +328,16 @@ func Run(sc Scenario) (out *Outcome) {
 		return out
 	}
 
-	a, err := sc.assignment()
-	if err != nil {
-		out.Detail = err.Error()
-		return out
-	}
-	if len(sc.Inputs) != sc.N {
-		out.Detail = fmt.Sprintf("need %d inputs, got %d", sc.N, len(sc.Inputs))
-		return out
-	}
-	inputs := make([]hom.Value, sc.N)
-	for i, v := range sc.Inputs {
-		inputs[i] = hom.Value(v)
-	}
-	adv, err := sc.adversaryFor(proto, p)
-	if err != nil {
-		out.Detail = err.Error()
-		return out
-	}
-	factory, err := proto.New(p)
-	if err != nil {
-		out.Detail = "factory: " + err.Error()
-		return out
-	}
+	// Wrap the factory so the verdict checker can interrogate the final
+	// process states; everything else in the config is Config()'s.
 	procs := make([]sim.Process, sc.N)
-	wrapped := func(slot int) sim.Process {
+	factory := cfg.NewProcess
+	cfg.NewProcess = func(slot int) sim.Process {
 		pr := factory(slot)
 		procs[slot] = pr
 		return pr
 	}
-	gst := sc.GST
-	if gst < 1 {
-		gst = 1
-	}
-	maxRounds := sc.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = proto.Rounds(p, gst)
-	}
-	res, err := sim.Run(sim.Config{
-		Params:     p,
-		Assignment: a,
-		Inputs:     inputs,
-		NewProcess: wrapped,
-		Adversary:  adv,
-		GST:        gst,
-		MaxRounds:  maxRounds,
-	})
+	res, err := sim.Run(cfg)
 	if err != nil {
 		out.Detail = "sim: " + err.Error()
 		return out

@@ -27,12 +27,19 @@ const NoKey KeyID = 0
 //
 // Assignment is deterministic: the i-th distinct key interned gets KeyID
 // i (1-based), so any two runs that intern the same keys in the same
-// order agree on every ID. The engines intern in delivery order, which is
-// itself deterministic, so parallel experiment grids stay byte-identical
-// across worker counts.
+// order agree on every ID. The engines intern at stamp time, in send
+// order, which is itself deterministic, so parallel experiment grids
+// stay byte-identical across worker counts.
 //
-// An Interner is not safe for concurrent use; each execution (or each
-// process, for process-local tables) owns its own.
+// Invariants:
+//
+//   - Reset (and Recycle, which Resets) invalidates every previously
+//     issued KeyID; nothing that outlives the execution may hold one.
+//   - KeyIDs are only comparable within the interner that issued them.
+//   - Strings returned by Key/InternMessageKey alias the intern table
+//     and die with the next Reset.
+//   - An Interner is not safe for concurrent use; each execution (or
+//     each process, for process-local tables) owns its own.
 type Interner struct {
 	ids     map[string]KeyID
 	keys    []string // KeyID -> canonical key; keys[0] is the NoKey slot

@@ -11,6 +11,12 @@ import (
 // long-lived builder (protocol scratch) can rebuild keys every round
 // without allocating, and Intern can symbolize a key without ever
 // materialising the string when it is already known.
+//
+// Invariants: Reset restarts the builder and invalidates any slice
+// previously returned by Bytes (String copies are unaffected); field
+// values are escaped by Str so embedding one canonical key inside
+// another can never collide two distinct payloads; a KeyBuilder is not
+// safe for concurrent use — each process owns its own scratch builder.
 type KeyBuilder struct {
 	buf []byte
 }

@@ -12,9 +12,17 @@
 // symbolized: a per-execution Interner maps each canonical key to a dense
 // KeyID at message construction (NewMessageInterned/NewMessageKeyedInterned),
 // and every Inbox operation afterwards — dedup, copy counting, sorted
-// insertion — compares and indexes integers instead of hashing strings.
-// Inboxes themselves can be pooled (NewPooledInbox/Recycle) so steady-state
-// rounds allocate nothing at all on the interned path.
+// ordering — compares and indexes integers instead of hashing strings.
+//
+// The engines' round storage is the SendArena: a structure-of-arrays
+// buffer holding each stamped send once, split into parallel identifier /
+// KeyID / payload / key columns. Inboxes over it (NewPooledInboxSoA)
+// reference entries by int32 index, dedup and count through the KeyID
+// column alone, and expose indexed accessors (SenderAt, BodyAt, CountAt,
+// IdentifierRange) so receive loops never materialise a []Message view.
+// Inboxes and interners are pooled (NewPooledInboxSoA/NewPooledInterner +
+// Recycle), so steady-state rounds allocate nothing at all on the engine
+// path.
 package msg
 
 import (
@@ -169,26 +177,36 @@ type Delivered struct {
 // For a numerate receiver it behaves as a multiset and Count returns the
 // number of copies received.
 //
-// The distinct messages are kept sorted at insertion time, so no
-// per-round sort pass is needed. An inbox built entirely from interned
-// messages (the engine path) runs string-free: dedup and counting index a
-// dense KeyID->count array and sorted insertion compares (identifier,
-// KeyID) pairs, where the KeyID order is the execution's deterministic
+// The distinct messages are kept in a deterministic sorted order,
+// materialised lazily. An inbox built entirely from interned messages
+// (the engine path) runs string-free: dedup and counting index a dense
+// KeyID->count array and sorted ordering compares (identifier, KeyID)
+// pairs, where the KeyID order is the execution's deterministic
 // first-intern order. Inboxes with uninterned messages fall back to the
 // canonical-key map and (identifier, key) ordering.
+//
+// Receivers that iterate through the indexed accessors (SenderAt, BodyAt,
+// CountAt over 0..Len()) never force the []Message view into existence:
+// on the engines' structure-of-arrays path (NewPooledInboxSoA) only the
+// int32 sort index and the two integer columns of the shared SendArena
+// are touched, and the payload column is read just for the entries the
+// receiver actually inspects.
 type Inbox struct {
 	numerate bool
 	interned bool // every message carries a KeyID
-	// Distinct messages in arrival order. In arena mode (the engines'
-	// indexed path) they are int32 references into the caller's send
-	// arena, so the n^2 delivery fan-out never copies Message structs;
-	// otherwise they are owned copies in msgs.
+	// Distinct messages in arrival order, in exactly one of three
+	// storages: int32 references into a caller-owned SoA send arena (soa;
+	// the engines' path — the n^2 delivery fan-out never copies Message
+	// structs), int32 references into a caller-owned []Message arena
+	// (arena; the legacy indexed path), or owned copies (msgs).
+	soa      *SendArena
 	arena    []Message
 	ref      []int32
 	msgs     []Message
-	orderIdx []int32        // sorted indices over the distinct set (see above)
-	order    []Message      // sorted view, materialised on first access
-	sorted   bool           // order mirrors orderIdx
+	orderIdx []int32        // sorted positions over the distinct set
+	order    []Message      // sorted []Message view, built on demand
+	idxOK    bool           // orderIdx is valid
+	viewOK   bool           // order mirrors orderIdx
 	counts   map[string]int // message key -> multiplicity (uninterned mode)
 	kidCount []int32        // KeyID -> multiplicity (interned mode)
 	total    int            // sum of multiplicities
@@ -197,18 +215,61 @@ type Inbox struct {
 
 // distinctLen returns the number of distinct messages.
 func (in *Inbox) distinctLen() int {
-	if in.arena != nil {
+	if in.soa != nil || in.arena != nil {
 		return len(in.ref)
 	}
 	return len(in.msgs)
 }
 
-// at returns the i-th distinct message (arrival order).
-func (in *Inbox) at(i int) *Message {
-	if in.arena != nil {
-		return &in.arena[in.ref[i]]
+// refID returns the sender identifier of the j-th distinct message
+// (arrival order), touching only the identifier column.
+func (in *Inbox) refID(j int) hom.Identifier {
+	switch {
+	case in.soa != nil:
+		return in.soa.ids[in.ref[j]]
+	case in.arena != nil:
+		return in.arena[in.ref[j]].ID
+	default:
+		return in.msgs[j].ID
 	}
-	return &in.msgs[i]
+}
+
+// refKid returns the KeyID of the j-th distinct message (arrival order),
+// touching only the KeyID column.
+func (in *Inbox) refKid(j int) KeyID {
+	switch {
+	case in.soa != nil:
+		return in.soa.kids[in.ref[j]]
+	case in.arena != nil:
+		return in.arena[in.ref[j]].kid
+	default:
+		return in.msgs[j].kid
+	}
+}
+
+// refKey returns the canonical key of the j-th distinct message (arrival
+// order). Only the uninterned fallbacks and foreign Count queries need it.
+func (in *Inbox) refKey(j int) string {
+	switch {
+	case in.soa != nil:
+		return in.soa.keys[in.ref[j]]
+	case in.arena != nil:
+		return in.arena[in.ref[j]].key
+	default:
+		return in.msgs[j].key
+	}
+}
+
+// refMessage materialises the j-th distinct message (arrival order).
+func (in *Inbox) refMessage(j int) Message {
+	switch {
+	case in.soa != nil:
+		return in.soa.Message(in.ref[j])
+	case in.arena != nil:
+		return in.arena[in.ref[j]]
+	default:
+		return in.msgs[j]
+	}
 }
 
 // NewInbox builds an inbox with the requested reception semantics from the
@@ -220,15 +281,33 @@ func NewInbox(numerate bool, raw []Message) *Inbox {
 	return in
 }
 
-// NewPooledInboxIndexed is the engines' inbox constructor: the round's
-// sends live once in a shared arena and each receiver's deliveries are
-// int32 indices into it, so routing never copies pointer-laden Message
-// structs per delivery (no write-barrier traffic) and the fill path only
-// touches the distinct messages.
+// NewPooledInboxIndexed builds a pooled inbox over an index view into a
+// shared []Message send arena (the pre-SoA engine layout, kept for
+// callers that already hold stamped Message values). The arena must
+// outlive the inbox; the caller owns the inbox until Recycle.
 func NewPooledInboxIndexed(numerate bool, arena []Message, idx []int32) *Inbox {
 	in := inboxPool.Get().(*Inbox)
 	in.pooled = true
 	in.fillIndexed(numerate, arena, idx)
+	return in
+}
+
+// NewPooledInboxSoA is the engines' inbox constructor: the round's sends
+// live once in a structure-of-arrays SendArena and each receiver's
+// deliveries are int32 indices into it. The fill path reads only the
+// KeyID column — one bounds-checked pass over idx — and the payload
+// column is never scanned unless the receiver materialises messages.
+// Steady state allocates nothing (the dense count array, the ref buffer
+// and the sort index are all recycled with the inbox shell).
+//
+// The arena is engine round scratch and must outlive the inbox: both are
+// valid until the engine resets them for the next round. Arena entries
+// are interned by construction, so the inbox always runs on the
+// string-free KeyID path. The caller owns the inbox until Recycle.
+func NewPooledInboxSoA(numerate bool, arena *SendArena, idx []int32) *Inbox {
+	in := inboxPool.Get().(*Inbox)
+	in.pooled = true
+	in.fillSoA(numerate, arena, idx)
 	return in
 }
 
@@ -249,8 +328,9 @@ func NewPooledInbox(numerate bool, raw []Message) *Inbox {
 }
 
 // Recycle resets the inbox and returns it to the pool. Only inboxes from
-// NewPooledInbox are returned; calling Recycle on a plain inbox is a no-op
-// so engine code can recycle unconditionally.
+// the pooled constructors are returned; calling Recycle on a plain inbox
+// is a no-op so engine code can recycle unconditionally. After Recycle
+// the inbox and every slice its accessors returned are invalid.
 func (in *Inbox) Recycle() {
 	if !in.pooled {
 		return
@@ -260,12 +340,13 @@ func (in *Inbox) Recycle() {
 		// itself persists across rounds, which is what makes the
 		// steady-state fill allocation-free.
 		for i, n := 0, in.distinctLen(); i < n; i++ {
-			in.kidCount[in.at(i).kid] = 0
+			in.kidCount[in.refKid(i)] = 0
 		}
 	} else {
 		clear(in.counts)
 	}
 	// Drop payload references so the pool retains no garbage.
+	in.soa = nil
 	in.arena = nil
 	in.ref = in.ref[:0]
 	clear(in.msgs)
@@ -273,7 +354,8 @@ func (in *Inbox) Recycle() {
 	clear(in.order)
 	in.order = in.order[:0]
 	in.orderIdx = in.orderIdx[:0]
-	in.sorted = false
+	in.idxOK = false
+	in.viewOK = false
 	in.total = 0
 	in.interned = false
 	in.pooled = false
@@ -284,7 +366,7 @@ func (in *Inbox) Recycle() {
 func (in *Inbox) fill(numerate bool, raw []Message) {
 	in.numerate = numerate
 	in.total = 0
-	in.sorted = false
+	in.idxOK, in.viewOK = false, false
 	if cap(in.msgs) < len(raw) {
 		in.msgs = make([]Message, 0, len(raw))
 	}
@@ -322,7 +404,7 @@ func (in *Inbox) fill(numerate bool, raw []Message) {
 func (in *Inbox) fillIndexed(numerate bool, arena []Message, idx []int32) {
 	in.numerate = numerate
 	in.total = 0
-	in.sorted = false
+	in.idxOK, in.viewOK = false, false
 	maxKid := KeyID(0)
 	in.interned = len(idx) > 0
 	for _, i := range idx {
@@ -364,6 +446,42 @@ func (in *Inbox) fillIndexed(numerate bool, arena []Message, idx []int32) {
 	}
 	for _, i := range idx {
 		in.addLegacy(arena[i], numerate)
+	}
+}
+
+// fillSoA is the structure-of-arrays fill: dedup and counting read only
+// the arena's KeyID column. Entries are interned by construction, so
+// there is no legacy fallback and no per-entry branch on NoKey.
+func (in *Inbox) fillSoA(numerate bool, arena *SendArena, idx []int32) {
+	in.numerate = numerate
+	in.total = 0
+	in.idxOK, in.viewOK = false, false
+	in.interned = true
+	in.soa = arena
+	if cap(in.ref) < len(idx) {
+		in.ref = make([]int32, 0, len(idx))
+	}
+	kids := arena.kids
+	maxKid := KeyID(0)
+	for _, i := range idx {
+		if kids[i] > maxKid {
+			maxKid = kids[i]
+		}
+	}
+	in.growCounts(maxKid)
+	for _, i := range idx {
+		kid := kids[i]
+		in.total++
+		if c := in.kidCount[kid]; c > 0 {
+			if numerate {
+				in.kidCount[kid] = c + 1
+			} else {
+				in.total--
+			}
+			continue
+		}
+		in.kidCount[kid] = 1
+		in.ref = append(in.ref, i)
 	}
 }
 
@@ -419,14 +537,17 @@ func (in *Inbox) addLegacy(m Message, numerate bool) {
 	in.msgs = append(in.msgs, m)
 }
 
-// materialize builds the sorted message view on first access; rounds
-// whose receivers never look at the messages (or only count) skip the
-// sort and the copy entirely. Interned inboxes order by (ID, KeyID),
-// uninterned ones by (ID, canonical key); both orders are deterministic
-// for a deterministic execution.
-func (in *Inbox) materialize() []Message {
-	if in.sorted {
-		return in.order
+// sortIndex builds (on first access) and returns the sorted position
+// index over the distinct set: sortIndex()[i] is the arrival-order
+// position of the i-th message in sorted order. Interned inboxes order by
+// (ID, KeyID), uninterned ones by (ID, canonical key); both orders are
+// deterministic for a deterministic execution. Rounds whose receivers
+// never look at the messages (or only count) skip the sort entirely, and
+// receivers that iterate through the indexed accessors stop here — only
+// Messages and FromIdentifier pay for the []Message view on top.
+func (in *Inbox) sortIndex() []int32 {
+	if in.idxOK {
+		return in.orderIdx
 	}
 	k := in.distinctLen()
 	if cap(in.orderIdx) < k {
@@ -436,39 +557,52 @@ func (in *Inbox) materialize() []Message {
 	// Insertion sort over int32 indices (binary search + shift): the
 	// distinct set is small and index shifts carry no write barriers.
 	for j := 0; j < k; j++ {
-		m := in.at(j)
+		id := in.refID(j)
 		var pos int
 		if in.interned {
+			kid := in.refKid(j)
 			pos = sort.Search(len(in.orderIdx), func(i int) bool {
-				o := in.at(int(in.orderIdx[i]))
-				if o.ID != m.ID {
-					return o.ID > m.ID
+				oj := int(in.orderIdx[i])
+				if oid := in.refID(oj); oid != id {
+					return oid > id
 				}
-				return o.kid > m.kid
+				return in.refKid(oj) > kid
 			})
 		} else {
+			key := in.refKey(j)
 			pos = sort.Search(len(in.orderIdx), func(i int) bool {
-				o := in.at(int(in.orderIdx[i]))
-				if o.ID != m.ID {
-					return o.ID > m.ID
+				oj := int(in.orderIdx[i])
+				if oid := in.refID(oj); oid != id {
+					return oid > id
 				}
 				// Equal identifiers render identical "id=<id>|" prefixes,
 				// so comparing full cached keys orders by payload key.
-				return o.key > m.key
+				return in.refKey(oj) > key
 			})
 		}
 		in.orderIdx = append(in.orderIdx, 0)
 		copy(in.orderIdx[pos+1:], in.orderIdx[pos:])
 		in.orderIdx[pos] = int32(j)
 	}
+	in.idxOK = true
+	return in.orderIdx
+}
+
+// materialize builds the sorted []Message view on first access.
+func (in *Inbox) materialize() []Message {
+	if in.viewOK {
+		return in.order
+	}
+	idx := in.sortIndex()
+	k := len(idx)
 	if cap(in.order) < k {
 		in.order = make([]Message, 0, k)
 	}
 	in.order = in.order[:k]
-	for i, idx := range in.orderIdx {
-		in.order[i] = *in.at(int(idx))
+	for i, j := range idx {
+		in.order[i] = in.refMessage(int(j))
 	}
-	in.sorted = true
+	in.viewOK = true
 	return in.order
 }
 
@@ -503,8 +637,8 @@ func (in *Inbox) Count(m Message) int {
 func (in *Inbox) countForeign(m Message) int {
 	key := m.Key()
 	for i, n := 0, in.distinctLen(); i < n; i++ {
-		if o := in.at(i); o.key == key {
-			return int(in.kidCount[o.kid])
+		if in.refKey(i) == key {
+			return int(in.kidCount[in.refKid(i)])
 		}
 	}
 	return 0
@@ -517,9 +651,67 @@ func (in *Inbox) TotalCount() int { return in.total }
 // Len returns the number of distinct messages.
 func (in *Inbox) Len() int { return in.distinctLen() }
 
+// The indexed accessors below address the distinct messages by their
+// position 0..Len()-1 in the inbox's deterministic sorted order — the
+// same order Messages returns. They are the protocols' string-free
+// iteration path: a receive loop over SenderAt/BodyAt/CountAt touches the
+// int32 sort index and the arena columns it actually needs, and never
+// forces the []Message view (or, on the SoA path, any Message struct)
+// into existence.
+
+// SenderAt returns the authenticated sender identifier of the i-th
+// distinct message in sorted order.
+func (in *Inbox) SenderAt(i int) hom.Identifier {
+	return in.refID(int(in.sortIndex()[i]))
+}
+
+// BodyAt returns the payload of the i-th distinct message in sorted
+// order.
+func (in *Inbox) BodyAt(i int) Payload {
+	j := int(in.sortIndex()[i])
+	switch {
+	case in.soa != nil:
+		return in.soa.bodies[in.ref[j]]
+	case in.arena != nil:
+		return in.arena[in.ref[j]].Body
+	default:
+		return in.msgs[j].Body
+	}
+}
+
+// CountAt returns the multiplicity of the i-th distinct message in sorted
+// order (always 1 on an innumerate inbox).
+func (in *Inbox) CountAt(i int) int {
+	j := int(in.sortIndex()[i])
+	if in.interned {
+		return int(in.kidCount[in.refKid(j)])
+	}
+	return in.counts[in.refKey(j)]
+}
+
+// MessageAt materialises the i-th distinct message in sorted order.
+func (in *Inbox) MessageAt(i int) Message {
+	return in.refMessage(int(in.sortIndex()[i]))
+}
+
+// IdentifierRange returns the half-open position range [lo, hi) of the
+// sorted distinct messages whose sender identifier equals id, for use
+// with the indexed accessors. lo == hi when the identifier sent nothing.
+func (in *Inbox) IdentifierRange(id hom.Identifier) (lo, hi int) {
+	idx := in.sortIndex()
+	lo = sort.Search(len(idx), func(i int) bool { return in.refID(int(idx[i])) >= id })
+	hi = lo
+	for hi < len(idx) && in.refID(int(idx[hi])) == id {
+		hi++
+	}
+	return lo, hi
+}
+
 // FromIdentifier returns the distinct messages carrying the given sender
 // identifier, in deterministic order. The result is a view into the
-// inbox's sorted buffer: callers must not mutate or retain it.
+// inbox's sorted buffer: callers must not mutate or retain it. Receivers
+// on the hot path prefer IdentifierRange plus the indexed accessors,
+// which skip the []Message view.
 func (in *Inbox) FromIdentifier(id hom.Identifier) []Message {
 	order := in.materialize()
 	lo := sort.Search(len(order), func(i int) bool { return order[i].ID >= id })
@@ -535,11 +727,20 @@ func (in *Inbox) FromIdentifier(id hom.Identifier) []Message {
 
 // DistinctIdentifiers returns the sorted identifiers from which the
 // receiver got at least one message satisfying pred. A nil pred matches
-// every message.
+// every message (and walks only the identifier column).
 func (in *Inbox) DistinctIdentifiers(pred func(Message) bool) []hom.Identifier {
 	var out []hom.Identifier
+	if pred == nil {
+		for _, j := range in.sortIndex() {
+			id := in.refID(int(j))
+			if len(out) == 0 || out[len(out)-1] != id {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
 	for _, m := range in.materialize() {
-		if pred != nil && !pred(m) {
+		if !pred(m) {
 			continue
 		}
 		if len(out) == 0 || out[len(out)-1] != m.ID {
@@ -554,8 +755,17 @@ func (in *Inbox) DistinctIdentifiers(pred func(Message) bool) []hom.Identifier {
 func (in *Inbox) CountDistinctIdentifiers(pred func(Message) bool) int {
 	count := 0
 	last := hom.Identifier(0)
+	if pred == nil {
+		for _, j := range in.sortIndex() {
+			if id := in.refID(int(j)); count == 0 || id != last {
+				count++
+				last = id
+			}
+		}
+		return count
+	}
 	for _, m := range in.materialize() {
-		if pred != nil && !pred(m) {
+		if !pred(m) {
 			continue
 		}
 		if count == 0 || m.ID != last {
@@ -575,9 +785,9 @@ func (in *Inbox) CountCopies(pred func(Message) bool) int {
 	}
 	total := 0
 	if in.interned {
-		for _, m := range in.materialize() {
-			if pred(m) {
-				total += int(in.kidCount[m.kid])
+		for _, j := range in.sortIndex() {
+			if pred(in.refMessage(int(j))) {
+				total += int(in.kidCount[in.refKid(int(j))])
 			}
 		}
 		return total

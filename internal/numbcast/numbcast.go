@@ -391,14 +391,16 @@ func (b *Broadcaster) Ingest(round int, in *msg.Inbox) []Accept {
 	sr := Superround(round)
 	t := b.tab
 
-	// Gather valid bundles with their copy counts.
+	// Gather valid bundles with their copy counts, through the indexed
+	// accessors (no []Message view; counts come straight from the
+	// KeyID-dense array).
 	t.recv = t.recv[:0]
-	for _, m := range in.Messages() {
-		bundle, ok := m.Body.(*Bundle)
+	for i, k := 0, in.Len(); i < k; i++ {
+		bundle, ok := in.BodyAt(i).(*Bundle)
 		if !ok || !b.validBundle(bundle, round) {
 			continue
 		}
-		t.recv = append(t.recv, recvBundle{id: m.ID, bundle: bundle, copies: in.Count(m)})
+		t.recv = append(t.recv, recvBundle{id: in.SenderAt(i), bundle: bundle, copies: in.CountAt(i)})
 	}
 
 	// Lines 13–14: init counting (first round of a superround). α is the

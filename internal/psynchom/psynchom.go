@@ -406,17 +406,18 @@ func (pr *Process) Receive(round int, in *msg.Inbox) {
 
 	switch pos {
 	case 3: // SR2 round 1: record the leader's lock requests.
-		for _, m := range in.FromIdentifier(LeaderID(phase, pr.params.L)) {
-			if lp, ok := m.Body.(LockPayload); ok && lp.Phase == phase && lp.Val != hom.NoValue {
+		lo, hi := in.IdentifierRange(LeaderID(phase, pr.params.L))
+		for i := lo; i < hi; i++ {
+			if lp, ok := in.BodyAt(i).(LockPayload); ok && lp.Phase == phase && lp.Val != hom.NoValue {
 				pr.lockSeen[lp.Val] = true
 			}
 		}
 	case 7: // SR4 round 1: leaders tally acks for their lock value.
 		if pr.isLeader(phase) && pr.decision == hom.NoValue && pr.leaderLockVal != hom.NoValue {
 			supporters := make(map[hom.Identifier]bool)
-			for _, m := range in.Messages() {
-				if ap, ok := m.Body.(AckPayload); ok && ap.Phase == phase && ap.Val == pr.leaderLockVal {
-					supporters[m.ID] = true
+			for i, k := 0, in.Len(); i < k; i++ {
+				if ap, ok := in.BodyAt(i).(AckPayload); ok && ap.Phase == phase && ap.Val == pr.leaderLockVal {
+					supporters[in.SenderAt(i)] = true
 				}
 			}
 			if len(supporters) >= pr.params.L-pr.params.T {
@@ -426,12 +427,12 @@ func (pr *Process) Receive(round int, in *msg.Inbox) {
 	case 8: // SR4 round 2: decide relay, then lock release.
 		if !pr.opts.DisableDecideRelay && pr.decision == hom.NoValue {
 			support := make(map[hom.Value]map[hom.Identifier]bool)
-			for _, m := range in.Messages() {
-				if dp, ok := m.Body.(DecidePayload); ok && dp.Val != hom.NoValue {
+			for i, k := 0, in.Len(); i < k; i++ {
+				if dp, ok := in.BodyAt(i).(DecidePayload); ok && dp.Val != hom.NoValue {
 					if support[dp.Val] == nil {
 						support[dp.Val] = make(map[hom.Identifier]bool)
 					}
-					support[dp.Val][m.ID] = true
+					support[dp.Val][in.SenderAt(i)] = true
 				}
 			}
 			var candidates []hom.Value
@@ -479,17 +480,18 @@ func (pr *Process) releaseLocks() {
 func (pr *Process) updateProper(in *msg.Inbox) {
 	reporters := make(map[hom.Identifier]bool)
 	supporters := make(map[hom.Value]map[hom.Identifier]bool)
-	for _, m := range in.Messages() {
-		pp, ok := m.Body.(ProperPayload)
+	for i, k := 0, in.Len(); i < k; i++ {
+		pp, ok := in.BodyAt(i).(ProperPayload)
 		if !ok {
 			continue
 		}
-		reporters[m.ID] = true
+		id := in.SenderAt(i)
+		reporters[id] = true
 		for _, v := range pp.V.Values() {
 			if supporters[v] == nil {
 				supporters[v] = make(map[hom.Identifier]bool)
 			}
-			supporters[v][m.ID] = true
+			supporters[v][id] = true
 		}
 	}
 	anySupported := false

@@ -417,17 +417,19 @@ func smallest(candidates []hom.Value) (hom.Value, bool) {
 // reuses its buffers; callers must Recycle the returned inbox.
 func (pr *Process) unpack(in *msg.Inbox) *msg.Inbox {
 	raw := pr.unpackBuf[:0]
-	for _, m := range in.Messages() {
-		copies := in.Count(m)
-		parts := []msg.Payload{m.Body}
-		if env, ok := m.Body.(Envelope); ok {
+	for i, k := 0, in.Len(); i < k; i++ {
+		body := in.BodyAt(i)
+		id := in.SenderAt(i)
+		copies := in.CountAt(i)
+		parts := []msg.Payload{body}
+		if env, ok := body.(Envelope); ok {
 			parts = env.Parts
 		}
 		for _, part := range parts {
 			if part == nil {
 				continue
 			}
-			im := msg.NewMessageInterned(pr.keys, m.ID, part)
+			im := msg.NewMessageInterned(pr.keys, id, part)
 			for c := 0; c < copies; c++ {
 				raw = append(raw, im)
 			}
@@ -476,8 +478,9 @@ func (pr *Process) Receive(round int, rawIn *msg.Inbox) {
 
 	switch pos {
 	case 3: // Record leader lock requests.
-		for _, m := range in.FromIdentifier(LeaderID(phase, pr.params.L)) {
-			if lp, ok := m.Body.(LockPayload); ok && lp.Phase == phase && lp.Val != hom.NoValue {
+		lo, hi := in.IdentifierRange(LeaderID(phase, pr.params.L))
+		for i := lo; i < hi; i++ {
+			if lp, ok := in.BodyAt(i).(LockPayload); ok && lp.Phase == phase && lp.Val != hom.NoValue {
 				pr.lockSeen[lp.Val] = true
 			}
 		}
@@ -485,9 +488,9 @@ func (pr *Process) Receive(round int, rawIn *msg.Inbox) {
 		// (Figure 7, lines 20–23) — any process, not only leaders.
 		if pr.decision == hom.NoValue {
 			ackCopies := make(map[hom.Value]int)
-			for _, m := range in.Messages() {
-				if ap, ok := m.Body.(AckPayload); ok && ap.Phase == phase && ap.Val != hom.NoValue {
-					ackCopies[ap.Val] += in.Count(m)
+			for i, k := 0, in.Len(); i < k; i++ {
+				if ap, ok := in.BodyAt(i).(AckPayload); ok && ap.Phase == phase && ap.Val != hom.NoValue {
+					ackCopies[ap.Val] += in.CountAt(i)
 				}
 			}
 			var candidates []hom.Value
@@ -512,12 +515,12 @@ func (pr *Process) Receive(round int, rawIn *msg.Inbox) {
 func (pr *Process) updateProper(in *msg.Inbox) {
 	totalCopies := 0
 	valueCopies := make(map[hom.Value]int)
-	for _, m := range in.Messages() {
-		pp, ok := m.Body.(ProperPayload)
+	for i, k := 0, in.Len(); i < k; i++ {
+		pp, ok := in.BodyAt(i).(ProperPayload)
 		if !ok {
 			continue
 		}
-		copies := in.Count(m)
+		copies := in.CountAt(i)
 		totalCopies += copies
 		for _, v := range pp.V.Values() {
 			valueCopies[v] += copies

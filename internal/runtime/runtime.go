@@ -163,16 +163,6 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 			}
 		}()
 	}
-	visible := func(from, to int) bool {
-		if cfg.Visibility == nil {
-			return true
-		}
-		return cfg.Visibility(from, to)
-	}
-	dropsAllowed := func(round int) bool {
-		return cfg.Params.Synchrony == hom.PartiallySynchronous && round < cfg.GST
-	}
-
 	decidedRemaining := -1
 	liveWorkers := 0
 	for _, w := range workers {
@@ -183,9 +173,11 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 
 	// Per-round scratch, allocated once and reused across rounds — the
 	// same allocation discipline as the sequential kernel. The intern
-	// table lives on the coordinator: messages are symbolized in delivery
+	// table lives on the coordinator: messages are symbolized in stamp
 	// order (identical to the sequential kernel's), never from worker
-	// goroutines, so KeyID assignment matches sim.Run exactly.
+	// goroutines, so KeyID assignment matches sim.Run exactly. Routing
+	// itself — stamping, per-recipient batching, masks, stats — is the
+	// sequential kernel's Router, shared so the engines cannot diverge.
 	intern := cfg.Interner
 	ownIntern := intern == nil
 	if ownIntern {
@@ -194,13 +186,11 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 	} else {
 		intern.Reset()
 	}
+	record := cfg.RecordTraffic || observer != nil
+	router := sim.NewRouter(&cfg, isBad, &res.Stats, intern, record)
 	correctSends := make(map[int][]msg.Send, liveWorkers)
 	byzSends := make([][]msg.TargetedSend, n)
-	var sendArena []msg.Message
-	rawIdx := make([][]int32, n)
-	perRecipient := make([]int, n)
 	inboxes := make([]*msg.Inbox, n)
-	var deliveries []msg.Delivered
 	var view sim.View
 
 	for round := 1; round <= cfg.MaxRounds; round++ {
@@ -234,90 +224,28 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 			}
 		}
 
-		// Phase 3: routing — identical rules to the sequential kernel:
-		// sends stamped once into the round's arena, deliveries routed as
-		// int32 arena indices.
-		for to := 0; to < n; to++ {
-			rawIdx[to] = rawIdx[to][:0]
-		}
-		sendArena = sendArena[:0]
-		deliveries = deliveries[:0]
-		dropsOK := dropsAllowed(round) && cfg.Adversary != nil
-		record := cfg.RecordTraffic || observer != nil
-		deliver := func(from, to int, si int32, keyLen int) {
-			res.Stats.MessagesSent++
-			if !visible(from, to) {
-				return
-			}
-			if from != to && dropsOK && cfg.Adversary.Drop(round, from, to) {
-				res.Stats.MessagesDropped++
-				return
-			}
-			if !isBad[to] {
-				rawIdx[to] = append(rawIdx[to], si)
-			}
-			res.Stats.MessagesDelivered++
-			res.Stats.PayloadBytes += keyLen
-			if record {
-				deliveries = append(deliveries, msg.Delivered{Round: round, FromSlot: from, ToSlot: to, Msg: sendArena[si]})
-			}
-		}
+		// Phase 3: routing — the sequential kernel's Router: sends stamped
+		// once into the round's SoA arena, deliveries routed as int32
+		// arena indices, per-recipient batches masked and flushed.
+		router.BeginRound(round)
 		for from := 0; from < n; from++ {
 			if isBad[from] {
 				continue
 			}
-			for _, snd := range correctSends[from] {
-				bodyKey := snd.Body.Key()
-				si := int32(len(sendArena))
-				sendArena = append(sendArena, msg.NewMessageKeyedInterned(intern, cfg.Assignment[from], snd.Body, bodyKey))
-				switch snd.Kind {
-				case msg.ToAll:
-					for to := 0; to < n; to++ {
-						deliver(from, to, si, len(bodyKey))
-					}
-				case msg.ToIdentifier:
-					for to := 0; to < n; to++ {
-						if cfg.Assignment[to] == snd.To {
-							deliver(from, to, si, len(bodyKey))
-						}
-					}
-				}
-			}
+			router.RouteCorrect(from, correctSends[from])
 		}
 		for _, from := range corrupted {
-			if len(byzSends[from]) == 0 {
-				continue
-			}
-			if cfg.Params.RestrictedByzantine {
-				for i := range perRecipient {
-					perRecipient[i] = 0
-				}
-			}
-			for _, ts := range byzSends[from] {
-				if ts.ToSlot < 0 || ts.ToSlot >= n || ts.Body == nil {
-					continue
-				}
-				if cfg.Params.RestrictedByzantine {
-					if perRecipient[ts.ToSlot] >= 1 {
-						res.Stats.RestrictedViolations++
-						continue
-					}
-					perRecipient[ts.ToSlot]++
-				}
-				bodyKey := ts.Body.Key()
-				si := int32(len(sendArena))
-				sendArena = append(sendArena, msg.NewMessageKeyedInterned(intern, cfg.Assignment[from], ts.Body, bodyKey))
-				deliver(from, ts.ToSlot, si, len(bodyKey))
-			}
+			router.RouteByzantine(from, byzSends[from])
 			byzSends[from] = nil
 		}
+		router.Flush()
 
 		// Phase 4: fan out inboxes, gather decisions. Every Receive has
 		// returned before its worker reports a decision, so the inboxes can
 		// be recycled once all decisions are in.
 		for _, w := range workers {
 			if w != nil {
-				in := msg.NewPooledInboxIndexed(cfg.Params.Numerate, sendArena, rawIdx[w.slot])
+				in := router.Inbox(w.slot)
 				inboxes[w.slot] = in
 				w.receive <- receiveReq{round: round, inbox: in}
 			}
@@ -337,10 +265,10 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 		}
 
 		if cfg.RecordTraffic {
-			res.Traffic = append(res.Traffic, deliveries...)
+			res.Traffic = append(res.Traffic, router.Deliveries()...)
 		}
 		if observer != nil {
-			observer.Observe(round, deliveries)
+			observer.Observe(round, router.Deliveries())
 		}
 
 		allDecided := true

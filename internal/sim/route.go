@@ -1,0 +1,330 @@
+package sim
+
+import (
+	"homonyms/internal/hom"
+	"homonyms/internal/msg"
+)
+
+// DeliveryMode selects how the engines route a round's sends to their
+// recipients. Both modes produce byte-identical Results (pinned by the
+// parity tests over every committed fuzz seed); they differ only in how
+// the work is organised.
+type DeliveryMode int
+
+const (
+	// DeliverBatched is the default: the round's sends are stamped once
+	// into the structure-of-arrays send arena, bucketed per recipient,
+	// and each recipient's whole batch is then delivered at once — one
+	// bounds-checked copy of the index slice with the adversary's
+	// visibility and drop masks applied over the batch, and statistics
+	// accumulated per batch instead of per message.
+	DeliverBatched DeliveryMode = iota
+	// DeliverPerMessage is the reference path: every (send, recipient)
+	// pair goes through the deliver hook individually. It is kept as the
+	// oracle the batched path is tested against, and it is what the
+	// engines fall back to when a round must record traffic (deliveries
+	// are recorded in send-major order, which a recipient-major batch
+	// walk does not produce).
+	DeliverPerMessage
+)
+
+// BatchDropper is an optional Adversary extension consumed by the batched
+// delivery path: instead of one Drop call per (from, to) pair, the engine
+// asks once per recipient batch. Implementations must fill drop[i] with
+// the verdict for the message from slot fromSlots[i] to slot toSlot this
+// round, leaving entries they do not drop untouched (the engine zeroes
+// the mask beforehand).
+//
+// The same purity contract as Adversary.Drop applies: the mask must be a
+// pure function of (round, fromSlots[i], toSlot), never of call order or
+// batch composition, so that batched and per-message routing agree
+// message for message. The engine enforces the model rules itself — the
+// mask is only consulted before GST in the partially synchronous model,
+// and verdicts on self-deliveries (fromSlots[i] == toSlot) are ignored.
+//
+// Adversaries that do not implement BatchDropper are adapted by a shim
+// that replays the batch through their per-message Drop, so every
+// existing adversary works unchanged under batched delivery.
+type BatchDropper interface {
+	DropBatch(round, toSlot int, fromSlots []int32, drop []bool)
+}
+
+// dropShim adapts a per-message Adversary.Drop to the batch interface.
+type dropShim struct{ adv Adversary }
+
+func (s dropShim) DropBatch(round, toSlot int, fromSlots []int32, drop []bool) {
+	for i, from := range fromSlots {
+		if int(from) != toSlot {
+			drop[i] = s.adv.Drop(round, int(from), toSlot)
+		}
+	}
+}
+
+// Router is the delivery machinery shared by the sequential (sim) and
+// concurrent (runtime) engines: it stamps each send exactly once into a
+// per-round structure-of-arrays arena (interning its canonical key, in
+// deterministic send order), routes deliveries as int32 arena indices,
+// enforces visibility, pre-GST drops and the restricted-Byzantine
+// budget, and accumulates the execution statistics.
+//
+// It exists so the two engines cannot diverge: they share routing code
+// instead of mirroring it. All its buffers are engine round scratch,
+// allocated once per execution and reused across rounds; an inbox
+// returned by Inbox references the arena and is valid only until the
+// next BeginRound.
+type Router struct {
+	n          int
+	params     hom.Params
+	assignment hom.Assignment
+	visibility func(fromSlot, toSlot int) bool
+	adv        Adversary
+	dropper    BatchDropper // nil iff adv is nil
+	gst        int
+	mode       DeliveryMode
+	record     bool
+	stats      *Stats
+	isBad      []bool
+	intern     *msg.Interner
+
+	arena      msg.SendArena
+	sendFrom   []int32   // arena column: sender slot per entry
+	sendKeyLen []int32   // arena column: body-key length (bandwidth proxy)
+	pend       [][]int32 // per recipient: routed arena indices, pre-mask
+	rawIdx     [][]int32 // per recipient: delivered arena indices
+	batch      []int32   // visibility-filtered batch scratch
+	froms      []int32   // batch sender-slot scratch for DropBatch
+	dropMask   []bool    // batch drop-mask scratch
+	perRecip   []int     // restricted-Byzantine budget counters
+	deliveries []msg.Delivered
+
+	round   int
+	dropsOK bool
+	perMsg  bool // effective routing this round (mode or record forces it)
+}
+
+// NewRouter builds the round router for one execution. isBad, stats and
+// intern are the engine's (the router writes stats and interns into the
+// engine's table); record reports whether deliveries must be recorded
+// for traffic or an observer, which forces per-message routing so the
+// recorded order matches the reference path.
+func NewRouter(cfg *Config, isBad []bool, stats *Stats, intern *msg.Interner, record bool) *Router {
+	n := cfg.Params.N
+	r := &Router{
+		n:          n,
+		params:     cfg.Params,
+		assignment: cfg.Assignment,
+		visibility: cfg.Visibility,
+		adv:        cfg.Adversary,
+		gst:        cfg.GST,
+		mode:       cfg.Delivery,
+		record:     record,
+		stats:      stats,
+		isBad:      isBad,
+		intern:     intern,
+		pend:       make([][]int32, n),
+		rawIdx:     make([][]int32, n),
+		perRecip:   make([]int, n),
+	}
+	if r.adv != nil {
+		if bd, ok := r.adv.(BatchDropper); ok {
+			r.dropper = bd
+		} else {
+			r.dropper = dropShim{adv: r.adv}
+		}
+	}
+	return r
+}
+
+// BeginRound resets the round scratch. Arena indices and inboxes from the
+// previous round become invalid.
+func (r *Router) BeginRound(round int) {
+	r.round = round
+	r.dropsOK = r.adv != nil &&
+		r.params.Synchrony == hom.PartiallySynchronous && round < r.gst
+	r.perMsg = r.mode == DeliverPerMessage || r.record
+	r.arena.Reset()
+	r.sendFrom = r.sendFrom[:0]
+	r.sendKeyLen = r.sendKeyLen[:0]
+	r.deliveries = r.deliveries[:0]
+	for to := 0; to < r.n; to++ {
+		r.pend[to] = r.pend[to][:0]
+		r.rawIdx[to] = r.rawIdx[to][:0]
+	}
+}
+
+// stamp appends one send to the arena (interning its key — this is the
+// only place a round's keys are interned, so intern order is send order
+// in both delivery modes) and records its routing metadata columns.
+func (r *Router) stamp(from int, body msg.Payload) int32 {
+	bodyKey := body.Key()
+	si := r.arena.Append(r.intern, r.assignment[from], body, bodyKey)
+	r.sendFrom = append(r.sendFrom, int32(from))
+	r.sendKeyLen = append(r.sendKeyLen, int32(len(bodyKey)))
+	return si
+}
+
+// route records one (send, recipient) pair: immediately delivered in
+// per-message mode, bucketed for Flush in batched mode.
+func (r *Router) route(from, to int, si int32) {
+	if r.perMsg {
+		r.deliverNow(from, to, si)
+		return
+	}
+	r.pend[to] = append(r.pend[to], si)
+}
+
+// deliverNow is the per-message reference hook, semantically identical to
+// the pre-batching engines' deliver closure.
+func (r *Router) deliverNow(from, to int, si int32) {
+	r.stats.MessagesSent++
+	if r.visibility != nil && !r.visibility(from, to) {
+		return
+	}
+	if from != to && r.dropsOK && r.adv.Drop(r.round, from, to) {
+		r.stats.MessagesDropped++
+		return
+	}
+	if !r.isBad[to] {
+		r.rawIdx[to] = append(r.rawIdx[to], si)
+	}
+	r.stats.MessagesDelivered++
+	r.stats.PayloadBytes += int(r.sendKeyLen[si])
+	if r.record {
+		r.deliveries = append(r.deliveries, msg.Delivered{
+			Round: r.round, FromSlot: from, ToSlot: to, Msg: r.arena.Message(si),
+		})
+	}
+}
+
+// RouteCorrect stamps and routes one correct slot's sends for the round.
+func (r *Router) RouteCorrect(from int, sends []msg.Send) {
+	for _, s := range sends {
+		si := r.stamp(from, s.Body)
+		switch s.Kind {
+		case msg.ToAll:
+			for to := 0; to < r.n; to++ {
+				r.route(from, to, si)
+			}
+		case msg.ToIdentifier:
+			for to := 0; to < r.n; to++ {
+				if r.assignment[to] == s.To {
+					r.route(from, to, si)
+				}
+			}
+		}
+	}
+}
+
+// RouteByzantine stamps and routes one corrupted slot's targeted sends,
+// enforcing the restricted-Byzantine one-message-per-recipient budget.
+func (r *Router) RouteByzantine(from int, sends []msg.TargetedSend) {
+	if len(sends) == 0 {
+		return
+	}
+	if r.params.RestrictedByzantine {
+		for i := range r.perRecip {
+			r.perRecip[i] = 0
+		}
+	}
+	for _, ts := range sends {
+		if ts.ToSlot < 0 || ts.ToSlot >= r.n || ts.Body == nil {
+			continue
+		}
+		if r.params.RestrictedByzantine {
+			if r.perRecip[ts.ToSlot] >= 1 {
+				r.stats.RestrictedViolations++
+				continue
+			}
+			r.perRecip[ts.ToSlot]++
+		}
+		si := r.stamp(from, ts.Body)
+		r.route(from, ts.ToSlot, si)
+	}
+}
+
+// Flush completes the round's routing. In batched mode it delivers one
+// batch per recipient: the candidate index slice is masked for
+// visibility, the adversary's drop mask is applied over the whole batch
+// (one BatchDropper call per recipient per round), survivors are copied
+// into the recipient's delivery index in a single append, and statistics
+// are accumulated per batch. Per-message mode already delivered inline,
+// so Flush is a no-op there.
+func (r *Router) Flush() {
+	if r.perMsg {
+		return
+	}
+	for to := 0; to < r.n; to++ {
+		cand := r.pend[to]
+		if len(cand) == 0 {
+			continue
+		}
+		r.stats.MessagesSent += len(cand)
+
+		// Visibility mask (topology restrictions are rare; the common
+		// case keeps the original batch untouched).
+		vis := cand
+		if r.visibility != nil {
+			r.batch = r.batch[:0]
+			for _, si := range cand {
+				if r.visibility(int(r.sendFrom[si]), to) {
+					r.batch = append(r.batch, si)
+				}
+			}
+			vis = r.batch
+		}
+		if len(vis) == 0 {
+			continue
+		}
+
+		// Drop mask, applied over the whole batch. Self-deliveries are
+		// exempt regardless of what the mask says (model rule).
+		if r.dropsOK {
+			if cap(r.froms) < len(vis) {
+				r.froms = make([]int32, 0, 2*len(vis))
+				r.dropMask = make([]bool, 0, 2*len(vis))
+			}
+			r.froms = r.froms[:len(vis)]
+			r.dropMask = r.dropMask[:len(vis)]
+			for i, si := range vis {
+				r.froms[i] = r.sendFrom[si]
+				r.dropMask[i] = false
+			}
+			r.dropper.DropBatch(r.round, to, r.froms, r.dropMask)
+			kept := 0
+			for i, si := range vis {
+				if r.dropMask[i] && int(r.froms[i]) != to {
+					r.stats.MessagesDropped++
+					continue
+				}
+				vis[kept] = si
+				kept++
+			}
+			vis = vis[:kept]
+		}
+
+		// Deliver the surviving batch: one index-slice copy, per-batch
+		// statistics.
+		r.stats.MessagesDelivered += len(vis)
+		for _, si := range vis {
+			r.stats.PayloadBytes += int(r.sendKeyLen[si])
+		}
+		if !r.isBad[to] {
+			r.rawIdx[to] = append(r.rawIdx[to], vis...)
+		}
+	}
+}
+
+// Arena exposes the round's send arena (for inbox construction and
+// traffic records). Valid until the next BeginRound.
+func (r *Router) Arena() *msg.SendArena { return &r.arena }
+
+// Inbox builds the pooled SoA inbox for one recipient slot. The caller
+// must Recycle it before the next BeginRound.
+func (r *Router) Inbox(to int) *msg.Inbox {
+	return msg.NewPooledInboxSoA(r.params.Numerate, &r.arena, r.rawIdx[to])
+}
+
+// Deliveries returns the round's recorded deliveries (empty unless the
+// router was built with record set). Engine-owned scratch: observers must
+// copy what they keep.
+func (r *Router) Deliveries() []msg.Delivered { return r.deliveries }

@@ -29,6 +29,13 @@
 //     per round from each Byzantine slot; excess messages are discarded
 //     and counted, so lower-bound experiments in the restricted model are
 //     honest.
+//
+// Round delivery runs through the Router (shared with the concurrent
+// engine in package runtime): sends are stamped once into a
+// structure-of-arrays arena and, by default, delivered as per-recipient
+// batches with the adversary's masks applied over each whole batch
+// (DeliverBatched); Config.Delivery selects the per-message reference
+// path, which is byte-identical by test.
 package sim
 
 import (
@@ -147,12 +154,25 @@ type Config struct {
 	// the shared pool and recycles it when the run ends; pass one
 	// explicitly only to inspect the table afterwards.
 	Interner *msg.Interner
+	// Delivery selects the round routing strategy. The zero value is
+	// DeliverBatched (per-recipient batches over the SoA send arena);
+	// DeliverPerMessage selects the reference path. Both produce
+	// byte-identical Results — see DeliveryMode.
+	Delivery DeliveryMode
 }
 
 // Releaser is an optional Process extension: after an execution finishes,
 // the engines call Release on every correct process that implements it,
 // so protocol implementations can return arena-backed tables and intern
 // scratch to their pools for the next execution.
+//
+// Invariants: Release is called at most once per process, strictly after
+// its last Receive/Decision call (the concurrent engine calls it on the
+// goroutine that owned the process, before Run returns); the process is
+// unusable afterwards, and anything it returned to a pool — tables,
+// interners, KeyIDs they issued — must not be referenced again.
+// Implementations must tolerate being absent: the hook is optional and
+// engines never require it.
 type Releaser interface {
 	Release()
 }
@@ -264,15 +284,14 @@ type engine struct {
 
 	// Per-round scratch, allocated once and reused across rounds so the
 	// steady-state hot path is allocation-free (modulo what processes and
-	// adversaries themselves allocate).
+	// adversaries themselves allocate). Routing scratch (send arena,
+	// per-recipient batches, delivery indices) lives in the Router, which
+	// is shared with the concurrent engine.
 	correctSends [][]msg.Send         // per sender slot; nil when silent
 	byzSends     [][]msg.TargetedSend // per sender slot; only corrupted used
 	sendsView    map[int][]msg.Send   // the View's CorrectSends, cleared per round
-	sendArena    []msg.Message        // the round's stamped sends, one entry per send
-	rawIdx       [][]int32            // per receiver slot: indices into sendArena
-	perRecipient []int                // restricted-Byzantine budget counters
 	view         View                 // handed to the adversary each round
-	deliveries   []msg.Delivered      // traffic/observer buffer, truncated per round
+	router       *Router              // stamping, batching, delivery, stats
 	intern       *msg.Interner        // per-execution key symbolization table
 	ownIntern    bool                 // the engine pooled it and must recycle it
 }
@@ -334,8 +353,6 @@ func newEngine(cfg Config) (*engine, error) {
 	}
 	e.correctSends = make([][]msg.Send, n)
 	e.byzSends = make([][]msg.TargetedSend, n)
-	e.rawIdx = make([][]int32, n)
-	e.perRecipient = make([]int, n)
 	if cfg.Adversary != nil && len(e.corrupted) > 0 {
 		e.sendsView = make(map[int][]msg.Send, n)
 	}
@@ -346,21 +363,9 @@ func newEngine(cfg Config) (*engine, error) {
 		e.intern = msg.NewPooledInterner()
 		e.ownIntern = true
 	}
+	record := cfg.RecordTraffic || e.observer != nil
+	e.router = NewRouter(&e.cfg, e.isBad, &e.res.Stats, e.intern, record)
 	return e, nil
-}
-
-// visible applies the optional topology mask.
-func (e *engine) visible(from, to int) bool {
-	if e.cfg.Visibility == nil {
-		return true
-	}
-	return e.cfg.Visibility(from, to)
-}
-
-// dropsAllowed reports whether the adversary may suppress deliveries in
-// this round.
-func (e *engine) dropsAllowed(round int) bool {
-	return e.cfg.Params.Synchrony == hom.PartiallySynchronous && round < e.cfg.GST
 }
 
 func (e *engine) run() (*Result, error) {
@@ -433,88 +438,24 @@ func (e *engine) step(round int) {
 		}
 	}
 
-	// Phase 3: expand, filter, deliver. Each send is stamped (and its key
-	// interned) exactly once into the round's send arena; routing then
-	// moves only int32 arena indices, so the n^2 delivery fan-out never
-	// copies pointer-laden Message structs.
-	for to := 0; to < e.n; to++ {
-		e.rawIdx[to] = e.rawIdx[to][:0]
-	}
-	e.sendArena = e.sendArena[:0]
-	deliveries := e.deliveries[:0]
-	dropsOK := e.dropsAllowed(round) && e.cfg.Adversary != nil
-	record := e.cfg.RecordTraffic || e.observer != nil
-
-	// deliver routes one copy of arena entry si; keyLen is the sender
-	// payload's key length, accumulated as the bandwidth proxy.
-	deliver := func(from, to int, si int32, keyLen int) {
-		e.res.Stats.MessagesSent++
-		if !e.visible(from, to) {
-			return
-		}
-		if from != to && dropsOK && e.cfg.Adversary.Drop(round, from, to) {
-			e.res.Stats.MessagesDropped++
-			return
-		}
-		if !e.isBad[to] {
-			e.rawIdx[to] = append(e.rawIdx[to], si)
-		}
-		e.res.Stats.MessagesDelivered++
-		e.res.Stats.PayloadBytes += keyLen
-		if record {
-			deliveries = append(deliveries, msg.Delivered{Round: round, FromSlot: from, ToSlot: to, Msg: e.sendArena[si]})
-		}
-	}
-
+	// Phase 3: stamp, batch, deliver — shared with the concurrent engine
+	// (see Router). Each send is stamped (and its key interned) exactly
+	// once into the round's SoA send arena; routing then moves only int32
+	// arena indices, so the n^2 delivery fan-out never copies
+	// pointer-laden Message structs, and under batched delivery each
+	// recipient's round is one masked index-slice copy.
+	e.router.BeginRound(round)
 	for from := 0; from < e.n; from++ {
 		if e.isBad[from] {
 			continue
 		}
-		for _, s := range e.correctSends[from] {
-			bodyKey := s.Body.Key()
-			si := int32(len(e.sendArena))
-			e.sendArena = append(e.sendArena, msg.NewMessageKeyedInterned(e.intern, e.cfg.Assignment[from], s.Body, bodyKey))
-			switch s.Kind {
-			case msg.ToAll:
-				for to := 0; to < e.n; to++ {
-					deliver(from, to, si, len(bodyKey))
-				}
-			case msg.ToIdentifier:
-				for to := 0; to < e.n; to++ {
-					if e.cfg.Assignment[to] == s.To {
-						deliver(from, to, si, len(bodyKey))
-					}
-				}
-			}
-		}
+		e.router.RouteCorrect(from, e.correctSends[from])
 	}
 	for _, from := range e.corrupted {
-		if len(e.byzSends[from]) == 0 {
-			continue
-		}
-		if e.cfg.Params.RestrictedByzantine {
-			for i := range e.perRecipient {
-				e.perRecipient[i] = 0
-			}
-		}
-		for _, ts := range e.byzSends[from] {
-			if ts.ToSlot < 0 || ts.ToSlot >= e.n || ts.Body == nil {
-				continue
-			}
-			if e.cfg.Params.RestrictedByzantine {
-				if e.perRecipient[ts.ToSlot] >= 1 {
-					e.res.Stats.RestrictedViolations++
-					continue
-				}
-				e.perRecipient[ts.ToSlot]++
-			}
-			bodyKey := ts.Body.Key()
-			si := int32(len(e.sendArena))
-			e.sendArena = append(e.sendArena, msg.NewMessageKeyedInterned(e.intern, e.cfg.Assignment[from], ts.Body, bodyKey))
-			deliver(from, ts.ToSlot, si, len(bodyKey))
-		}
+		e.router.RouteByzantine(from, e.byzSends[from])
 		e.byzSends[from] = nil
 	}
+	e.router.Flush()
 
 	// Phase 4: reception and state transitions. Inboxes come from the
 	// shared pool and go straight back once Receive returns (processes must
@@ -523,7 +464,7 @@ func (e *engine) step(round int) {
 		if e.isBad[to] {
 			continue
 		}
-		in := msg.NewPooledInboxIndexed(e.cfg.Params.Numerate, e.sendArena, e.rawIdx[to])
+		in := e.router.Inbox(to)
 		e.procs[to].Receive(round, in)
 		in.Recycle()
 		if e.decidedAt[to] == 0 {
@@ -535,10 +476,9 @@ func (e *engine) step(round int) {
 	}
 
 	if e.cfg.RecordTraffic {
-		e.res.Traffic = append(e.res.Traffic, deliveries...)
+		e.res.Traffic = append(e.res.Traffic, e.router.Deliveries()...)
 	}
 	if e.observer != nil {
-		e.observer.Observe(round, deliveries)
+		e.observer.Observe(round, e.router.Deliveries())
 	}
-	e.deliveries = deliveries
 }

@@ -166,8 +166,9 @@ func (pr *Process) Receive(round int, in *msg.Inbox) {
 // Self-delivery is reliable, so the candidate set is never empty.
 func (pr *Process) receiveSelection(phase int, in *msg.Inbox) {
 	var best classical.State
-	for _, m := range in.FromIdentifier(pr.id) {
-		sp, ok := m.Body.(selPayload)
+	lo, hi := in.IdentifierRange(pr.id)
+	for i := lo; i < hi; i++ {
+		sp, ok := in.BodyAt(i).(selPayload)
 		if !ok || sp.phase != phase || sp.state == nil {
 			continue
 		}
@@ -188,15 +189,15 @@ func (pr *Process) receiveDeciding(phase int, in *msg.Inbox) {
 		return
 	}
 	support := make(map[hom.Value]map[hom.Identifier]bool)
-	for _, m := range in.Messages() {
-		dp, ok := m.Body.(decPayload)
+	for i, k := 0, in.Len(); i < k; i++ {
+		dp, ok := in.BodyAt(i).(decPayload)
 		if !ok || dp.phase != phase || dp.val == hom.NoValue {
 			continue
 		}
 		if support[dp.val] == nil {
 			support[dp.val] = make(map[hom.Identifier]bool)
 		}
-		support[dp.val][m.ID] = true
+		support[dp.val][in.SenderAt(i)] = true
 	}
 	candidates := make([]hom.Value, 0, len(support))
 	for v, ids := range support {
@@ -212,22 +213,33 @@ func (pr *Process) receiveDeciding(phase int, in *msg.Inbox) {
 }
 
 // receiveRunning applies one transition of A after stripping equivocating
-// identifier groups (Figure 3, lines 12–15).
+// identifier groups (Figure 3, lines 12–15). One pass over the sorted
+// indexed view: messages arrive grouped by identifier, so a group that
+// contributed two or more valid run payloads is detected by adjacency.
 func (pr *Process) receiveRunning(phase int, in *msg.Inbox) {
 	var filtered []msg.Message
-	for _, id := range in.DistinctIdentifiers(nil) {
-		var bodies []msg.Message
-		for _, m := range in.FromIdentifier(id) {
-			rp, ok := m.Body.(runPayload)
-			if !ok || rp.phase != phase || rp.body == nil {
-				continue
-			}
-			bodies = append(bodies, msg.Message{ID: id, Body: rp.body})
-		}
-		if len(bodies) == 1 {
-			filtered = append(filtered, bodies[0])
+	last := hom.Identifier(0) // identifier of the current group (0 = none)
+	groupValid := 0           // valid run payloads seen for this group
+	var groupBody msg.Payload // the single valid payload, if groupValid == 1
+	flush := func() {
+		if groupValid == 1 {
+			filtered = append(filtered, msg.Message{ID: last, Body: groupBody})
 		}
 	}
+	for i, k := 0, in.Len(); i < k; i++ {
+		id := in.SenderAt(i)
+		if id != last {
+			flush()
+			last, groupValid, groupBody = id, 0, nil
+		}
+		rp, ok := in.BodyAt(i).(runPayload)
+		if !ok || rp.phase != phase || rp.body == nil {
+			continue
+		}
+		groupValid++
+		groupBody = rp.body
+	}
+	flush()
 	pr.state = pr.alg.Transition(pr.state, phase, filtered)
 }
 
