@@ -54,7 +54,7 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output file")
+	out := flag.String("out", "BENCH_PR5.json", "output file")
 	compare := flag.String("compare", "", "baseline JSON file, directory or glob to gate against instead of writing a record")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed relative regression in -compare mode")
 	flag.Parse()
@@ -86,10 +86,13 @@ var gatedAllocBenches = []string{
 	"engine_broadcast_50r_n16",
 	"engine_batched_50r_n16",
 	"engine_permessage_50r_n16",
+	"engine_groupshared_fill_n64l4",
+	"engine_perrecipient_fill_n64l4",
 	"inbox_now_build",
 	"inbox_now_build_pooled_keyed",
 	"inbox_interned_build_pooled",
 	"inbox_soa_build_pooled",
+	"inbox_group_build_views_pooled",
 	"inbox_now_count",
 	"protocol_table_authbcast_ingest",
 	"protocol_table_numbcast_ingest",
@@ -100,6 +103,7 @@ var gatedAllocBenches = []string{
 var gatedRatios = []string{
 	"inbox_build_ns_improvement_x",
 	"inbox_count_ns_improvement_x",
+	"engine_groupshared_vs_perrecipient_x",
 }
 
 // baselineFiles resolves the -compare argument to the list of baseline
@@ -308,7 +312,7 @@ func run(out string) error {
 // collect measures the full benchmark suite in-process.
 func collect() (*record, error) {
 	rec := record{
-		Record:     "BENCH_PR4",
+		Record:     "BENCH_PR5",
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchmarks: map[string]metric{},
@@ -319,6 +323,7 @@ func collect() (*record, error) {
 			"inbox_soa_* is the PR-4 engine path: the send arena split into parallel (id, kid, body) columns; fill and the indexed receive scan touch only the integer columns",
 			"engine_batched_* vs engine_permessage_* compare the PR-4 per-recipient batch routing (the default) against the per-message reference path on the same workload; engine_broadcast_50r_n16 keeps its name and measures the default configuration",
 			"protocol_table_* measure the arena-backed broadcast tables (PR 3); the matrix pair records workers/gomaxprocs so single-core runs are not misread as scheduler regressions",
+			"inbox_group_* and engine_*_fill_n64l4 are the PR-5 group-shared reception paths: an identifier-symmetric post-GST all-to-all round at n=64, l=4 fills one shared msg.GroupInbox per identifier group (l fills) instead of one SoA inbox per process (n fills); engine_groupshared_vs_perrecipient_x is the fill-path ratio on that cell",
 		},
 	}
 
@@ -397,6 +402,45 @@ func collect() (*record, error) {
 			_ = total
 		})
 	}()
+
+	// The group-shared reception path (PR 5): one shared core filled per
+	// equivalence class, read through pooled views. The msg-level pair
+	// compares one shared fill plus 16 views against 16 independent SoA
+	// fills of the same deliveries; the engine-level pair drives the real
+	// Router over an identifier-symmetric n=64/l=4 all-to-all round.
+	rec.Benchmarks["inbox_group_build_views_pooled"] = measure(func(b *testing.B) {
+		const views = 16
+		boxes := make([]*msg.Inbox, views)
+		for i := 0; i < b.N; i++ {
+			gi := msg.NewPooledGroupInbox(true, &soaArena, soaIdx, views)
+			for v := 0; v < views; v++ {
+				boxes[v] = msg.NewPooledInboxView(gi)
+			}
+			if boxes[0].Len() == 0 {
+				b.Fatal("empty view")
+			}
+			for v := 0; v < views; v++ {
+				boxes[v].Recycle()
+			}
+		}
+	})
+	rec.Benchmarks["inbox_group_equiv_soa_fills"] = measure(func(b *testing.B) {
+		const views = 16
+		boxes := make([]*msg.Inbox, views)
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < views; v++ {
+				boxes[v] = msg.NewPooledInboxSoA(true, &soaArena, soaIdx)
+			}
+			if boxes[0].Len() == 0 {
+				b.Fatal("empty inbox")
+			}
+			for v := 0; v < views; v++ {
+				boxes[v].Recycle()
+			}
+		}
+	})
+	rec.Benchmarks["engine_groupshared_fill_n64l4"] = measureRouterFill(sim.ReceiveGroupShared)
+	rec.Benchmarks["engine_perrecipient_fill_n64l4"] = measureRouterFill(sim.ReceivePerRecipient)
 
 	// Count: baseline (key rebuilt per call) vs current (cached key).
 	base := newBaselineInbox(true, raw)
@@ -513,8 +557,67 @@ func collect() (*record, error) {
 	rec.Derived["engine_batched_vs_permessage_x"] = div(
 		rec.Benchmarks["engine_permessage_50r_n16"].NsPerOp,
 		rec.Benchmarks["engine_batched_50r_n16"].NsPerOp)
+	rec.Derived["inbox_group_allocs_per_op"] = float64(rec.Benchmarks["inbox_group_build_views_pooled"].AllocsPerOp)
+	rec.Derived["inbox_group_vs_soa_fills_x"] = div(
+		rec.Benchmarks["inbox_group_equiv_soa_fills"].NsPerOp,
+		rec.Benchmarks["inbox_group_build_views_pooled"].NsPerOp)
+	rec.Derived["engine_groupshared_vs_perrecipient_x"] = div(
+		rec.Benchmarks["engine_perrecipient_fill_n64l4"].NsPerOp,
+		rec.Benchmarks["engine_groupshared_fill_n64l4"].NsPerOp)
 	rec.Derived["workers"] = float64(exec.Workers())
 	return &rec, nil
+}
+
+// floodPayload is the fill benchmark's body: one distinct payload per
+// sender slot, with a scratch-built key (msg.ScratchKeyer) so the stamp
+// path allocates nothing.
+type floodPayload struct{ slot int }
+
+func (p floodPayload) BuildKey(kb *msg.KeyBuilder) { kb.Reset("flood").Int(p.slot) }
+func (p floodPayload) Key() string                 { return msg.ScratchKey(p) }
+
+// measureRouterFill drives the engines' shared Router over an
+// identifier-symmetric post-GST all-to-all round at n=64, l=4 — the
+// ROADMAP's "cut the n² fill to l fills" cell — measuring exactly the
+// fill path: route, flush, classify, build every correct recipient's
+// inbox (forcing the dedup fill and the sort index) and recycle. Under
+// ReceiveGroupShared the round performs l=4 shared fills; under
+// ReceivePerRecipient it performs n=64.
+func measureRouterFill(reception sim.ReceptionMode) metric {
+	const n, l = 64, 4
+	cfg := sim.Config{
+		Params:     hom.Params{N: n, L: l, T: 0, Synchrony: hom.Synchronous},
+		Assignment: hom.RoundRobinAssignment(n, l),
+		Reception:  reception,
+	}
+	isBad := make([]bool, n)
+	var stats sim.Stats
+	intern := msg.NewInterner()
+	router := sim.NewRouter(&cfg, isBad, &stats, intern, false)
+	sends := make([][]msg.Send, n)
+	for s := range sends {
+		sends[s] = []msg.Send{msg.Broadcast(floodPayload{slot: s})}
+	}
+	boxes := make([]*msg.Inbox, n)
+	return measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			router.BeginRound(i + 1)
+			for s := 0; s < n; s++ {
+				router.RouteCorrect(s, sends[s])
+			}
+			router.Flush()
+			for to := 0; to < n; to++ {
+				in := router.Inbox(to)
+				if in.Len() != n || in.SenderAt(0) == 0 {
+					b.Fatal("bad fill")
+				}
+				boxes[to] = in
+			}
+			for to := 0; to < n; to++ {
+				boxes[to].Recycle()
+			}
+		}
+	})
 }
 
 // measureAuthbcastIngest drives one broadcaster through repeated echo

@@ -48,8 +48,13 @@ type InitPayload struct {
 	Body msg.Payload
 }
 
+// BuildKey implements msg.ScratchKeyer (the engines' scratch-interned
+// send path; the embedded body key stays whatever the inner payload
+// provides).
+func (p InitPayload) BuildKey(kb *msg.KeyBuilder) { kb.Reset("abinit").Str(p.Body.Key()) }
+
 // Key implements msg.Payload.
-func (p InitPayload) Key() string { return msg.NewKey("abinit").Str(p.Body.Key()).String() }
+func (p InitPayload) Key() string { return msg.ScratchKey(p) }
 
 // EchoPayload is the ⟨echo m, r, i⟩ message supporting the broadcast of m
 // performed under identifier ID in superround SR.
@@ -59,10 +64,13 @@ type EchoPayload struct {
 	ID   hom.Identifier
 }
 
-// Key implements msg.Payload.
-func (p EchoPayload) Key() string {
-	return msg.NewKey("abecho").Int(p.SR).Identifier(p.ID).Str(p.Body.Key()).String()
+// BuildKey implements msg.ScratchKeyer.
+func (p EchoPayload) BuildKey(kb *msg.KeyBuilder) {
+	kb.Reset("abecho").Int(p.SR).Identifier(p.ID).Str(p.Body.Key())
 }
+
+// Key implements msg.Payload.
+func (p EchoPayload) Key() string { return msg.ScratchKey(p) }
 
 // Accept records one Accept(m, i) action: the payload m, the broadcaster
 // identifier i, and the superround the broadcast was started in.

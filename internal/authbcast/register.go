@@ -23,7 +23,10 @@ import (
 type fuzzValue struct{ V hom.Value }
 
 // Key implements msg.Payload.
-func (f fuzzValue) Key() string { return msg.NewKey("abfuzz").Value(f.V).String() }
+func (f fuzzValue) Key() string { return msg.ScratchKey(f) }
+
+// BuildKey implements msg.ScratchKeyer.
+func (f fuzzValue) BuildKey(kb *msg.KeyBuilder) { kb.Reset("abfuzz").Value(f.V) }
 
 // hostAccept is one logged Accept with the round it was performed in.
 type hostAccept struct {

@@ -102,7 +102,10 @@ type PKPref struct {
 }
 
 // Key implements msg.Payload.
-func (p PKPref) Key() string { return msg.NewKey("pkpref").Int(p.Phase).Value(p.Val).String() }
+func (p PKPref) Key() string { return msg.ScratchKey(p) }
+
+// BuildKey implements msg.ScratchKeyer.
+func (p PKPref) BuildKey(kb *msg.KeyBuilder) { kb.Reset("pkpref").Int(p.Phase).Value(p.Val) }
 
 // PKKing is the king-round payload (round 2k of phase k), sent only by the
 // phase's king.
@@ -112,7 +115,10 @@ type PKKing struct {
 }
 
 // Key implements msg.Payload.
-func (p PKKing) Key() string { return msg.NewKey("pkking").Int(p.Phase).Value(p.Val).String() }
+func (p PKKing) Key() string { return msg.ScratchKey(p) }
+
+// BuildKey implements msg.ScratchKeyer.
+func (p PKKing) BuildKey(kb *msg.KeyBuilder) { kb.Reset("pkking").Int(p.Phase).Value(p.Val) }
 
 // phaseOf maps a round 1..2(t+1) to its phase 1..t+1 and whether it is the
 // king round.

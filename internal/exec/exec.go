@@ -15,6 +15,7 @@ package exec
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -85,6 +86,85 @@ func MapN[R any](n, workers int, fn func(i int) (R, error)) ([]R, error) {
 // results in input order. See MapN for the scheduling and error contract.
 func Map[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([]R, error) {
 	return MapN(len(items), workers, func(i int) (R, error) {
+		return fn(i, items[i])
+	})
+}
+
+// MapNWeighted is MapN with cost-aware scheduling: instead of handing
+// out indices in input order, workers steal them in descending
+// cost(i) order (ties broken by ascending index), so the most expensive
+// items start first and cannot land on an almost-drained pool. This
+// closes the tail-latency gap of heterogeneous grids — a solvability
+// matrix whose large-n cells sit at the end of the input order would
+// otherwise serialise them behind the cheap cells.
+//
+// Everything observable is identical to MapN: fn must be a pure
+// function of its index, every item runs exactly once even after a
+// failure, results are indexed by input position, and the error
+// returned is the lowest-index one. cost is only a scheduling hint —
+// results are byte-identical to MapN for any cost function — and is
+// called once per index up front.
+func MapNWeighted[R any](n, workers int, cost func(i int) int64, fn func(i int) (R, error)) ([]R, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || cost == nil {
+		return MapN(n, workers, fn)
+	}
+	costs := make([]int64, n)
+	order := make([]int32, n)
+	for i := 0; i < n; i++ {
+		costs[i] = cost(i)
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := costs[order[a]], costs[order[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		return order[a] < order[b] // total order: no stability needed
+	})
+	results := make([]R, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				pos := int(next.Add(1)) - 1
+				if pos >= n {
+					return
+				}
+				i := int(order[pos])
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// MapWeighted applies fn to every item with cost-aware scheduling. See
+// MapNWeighted for the contract.
+func MapWeighted[T, R any](items []T, workers int, cost func(i int, item T) int64, fn func(i int, item T) (R, error)) ([]R, error) {
+	var costN func(int) int64
+	if cost != nil {
+		costN = func(i int) int64 { return cost(i, items[i]) }
+	}
+	return MapNWeighted(len(items), workers, costN, func(i int) (R, error) {
 		return fn(i, items[i])
 	})
 }

@@ -1,0 +1,56 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+
+	"homonyms/internal/exec"
+	"homonyms/internal/runtime"
+	"homonyms/internal/sim"
+)
+
+// TestSeedCorpusGroupReceptionParity is the reception tentpole's golden
+// test: every committed fuzz seed replays to a byte-identical sim.Result
+// under group-shared reception (the default) and the per-recipient
+// reference path, on both engines, and through the worker pool at
+// workers 1 and 4 — so pooled shared cores and views recycled across
+// concurrent executions can never leak into a Result.
+func TestSeedCorpusGroupReceptionParity(t *testing.T) {
+	scenarios := corpusScenarios(t)
+
+	campaign := func(engine string, reception sim.ReceptionMode, workers int) string {
+		outs, err := exec.MapN(len(scenarios), workers, func(i int) (string, error) {
+			cfg, err := scenarios[i].Config()
+			if err != nil {
+				return "", err
+			}
+			cfg.Reception = reception
+			var res *sim.Result
+			if engine == "runtime" {
+				res, err = runtime.Run(cfg)
+			} else {
+				res, err = sim.Run(cfg)
+			}
+			if err != nil {
+				return "", err
+			}
+			return resultFingerprint(res), nil
+		})
+		if err != nil {
+			t.Fatalf("campaign (%s, reception %v, workers %d): %v", engine, reception, workers, err)
+		}
+		return strings.Join(outs, "\n")
+	}
+
+	want := campaign("sim", sim.ReceivePerRecipient, 1)
+	for _, engine := range []string{"sim", "runtime"} {
+		for _, workers := range []int{1, 4} {
+			for _, reception := range []sim.ReceptionMode{sim.ReceiveGroupShared, sim.ReceivePerRecipient} {
+				if got := campaign(engine, reception, workers); got != want {
+					t.Errorf("corpus fingerprints diverge (%s, reception %v, workers %d)",
+						engine, reception, workers)
+				}
+			}
+		}
+	}
+}

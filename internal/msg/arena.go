@@ -61,6 +61,15 @@ func (a *SendArena) Append(it *Interner, id hom.Identifier, body Payload, bodyKe
 	return i
 }
 
+// AppendInterned is Append for a body whose key was already interned
+// into it (the engines' ScratchKeyer send path: the body key is built
+// in a scratch KeyBuilder and symbolized without ever materialising a
+// fresh string). The canonical body string is read back from the intern
+// table, so the whole stamp allocates nothing for known keys.
+func (a *SendArena) AppendInterned(it *Interner, id hom.Identifier, body Payload, bodyKid KeyID) int32 {
+	return a.Append(it, id, body, it.Key(bodyKid))
+}
+
 // ID returns the sender identifier of entry i.
 func (a *SendArena) ID(i int32) hom.Identifier { return a.ids[i] }
 

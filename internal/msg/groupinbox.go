@@ -1,0 +1,189 @@
+package msg
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// GroupInbox is the shared reception core for one equivalence class of
+// recipients: processes that received a byte-identical delivery batch
+// this round (in practice, the correct members of one identifier group
+// in an identifier-symmetric round). The engines' router fills it once —
+// one KeyID-dense count array, one dedup pass, one lazily materialised
+// sort index — and hands each class member a read-only *Inbox view
+// (NewPooledInboxView), so the per-round fill cost scales with the
+// number of identifier groups instead of the number of processes.
+//
+// Concurrency and lifecycle invariants:
+//
+//   - The core is filled by the router on the engine goroutine, before
+//     any view is handed out. After the fill, the only mutation is the
+//     lazy sort-index materialisation, which is guarded (mutex + atomic
+//     flag) because the concurrent engine's process goroutines may race
+//     to be the first reader. Everything else is immutable until
+//     release, so views are safe to read concurrently.
+//   - Views are pooled Inbox shells. Each view's Recycle releases one
+//     reference; when the last reference goes, the core zeroes the
+//     counts it touched and returns itself to the pool. The expected
+//     reference count is fixed at construction (the class size), so a
+//     core can never outlive its round: the engines recycle every
+//     inbox before the next BeginRound invalidates the arena.
+//   - Like every SoA inbox, the core references the engine's SendArena
+//     and is valid only until the round's arena reset.
+type GroupInbox struct {
+	numerate bool
+	soa      *SendArena
+	ref      []int32 // distinct messages, arrival order, arena indices
+	kidCount []int32 // KeyID -> multiplicity
+	total    int     // sum of multiplicities
+
+	// Lazy sort index over the distinct set. idxOK is the
+	// double-checked publication flag: readers that observe true see a
+	// fully built orderIdx (the store happens-after the build under
+	// sortMu).
+	sortMu   sync.Mutex
+	idxOK    atomic.Bool
+	orderIdx []int32
+
+	// refs counts the outstanding views. Views are recycled by the
+	// engine coordinator (never by process goroutines), but the counter
+	// is atomic so misuse shows up under the race detector instead of
+	// corrupting the pool.
+	refs atomic.Int32
+}
+
+// groupInboxPool recycles shared cores (the shell, its ref buffer, its
+// dense count array and its sort index) across rounds.
+var groupInboxPool = sync.Pool{New: func() any { return new(GroupInbox) }}
+
+// NewPooledGroupInbox fills a shared reception core from the arena and
+// the equivalence class's common delivery index. views is the number of
+// read-only views that will be attached (the class size); the core
+// returns to the pool when the last of them is recycled. The fill is
+// the SoA fill of NewPooledInboxSoA, performed once for the whole
+// class; steady state allocates nothing.
+func NewPooledGroupInbox(numerate bool, arena *SendArena, idx []int32, views int) *GroupInbox {
+	g := groupInboxPool.Get().(*GroupInbox)
+	g.numerate = numerate
+	g.soa = arena
+	g.total = 0
+	g.idxOK.Store(false)
+	g.refs.Store(int32(views))
+	if cap(g.ref) < len(idx) {
+		g.ref = make([]int32, 0, len(idx))
+	}
+	g.ref = g.ref[:0]
+	kids := arena.kids
+	maxKid := KeyID(0)
+	for _, i := range idx {
+		if kids[i] > maxKid {
+			maxKid = kids[i]
+		}
+	}
+	if n := int(maxKid) + 1; n > len(g.kidCount) {
+		if n <= cap(g.kidCount) {
+			// The region beyond the old length was never written (counts
+			// are zeroed on release), so extending is free.
+			g.kidCount = g.kidCount[:n]
+		} else {
+			grown := make([]int32, n, 2*n)
+			copy(grown, g.kidCount)
+			g.kidCount = grown
+		}
+	}
+	for _, i := range idx {
+		kid := kids[i]
+		g.total++
+		if c := g.kidCount[kid]; c > 0 {
+			if numerate {
+				g.kidCount[kid] = c + 1
+			} else {
+				g.total--
+			}
+			continue
+		}
+		g.kidCount[kid] = 1
+		g.ref = append(g.ref, i)
+	}
+	return g
+}
+
+// NewPooledInboxView attaches one read-only pooled Inbox view to the
+// shared core. The view consumes the core through the standard Inbox
+// accessors (SenderAt/BodyAt/CountAt/IdentifierRange/Count/...), so
+// protocol receive paths are oblivious to the sharing. The caller owns
+// the view until Recycle, which releases the view's reference on the
+// core.
+func NewPooledInboxView(g *GroupInbox) *Inbox {
+	in := inboxPool.Get().(*Inbox)
+	in.pooled = true
+	in.shared = g
+	in.numerate = g.numerate
+	in.interned = true
+	return in
+}
+
+// sortIndex builds (on first access, under the core's lock) and returns
+// the sorted position index over the distinct set — the same
+// (identifier, KeyID) insertion sort as the per-recipient inbox, paid
+// once per equivalence class.
+func (g *GroupInbox) sortIndex() []int32 {
+	if g.idxOK.Load() {
+		return g.orderIdx
+	}
+	g.sortMu.Lock()
+	defer g.sortMu.Unlock()
+	if g.idxOK.Load() {
+		return g.orderIdx
+	}
+	k := len(g.ref)
+	if cap(g.orderIdx) < k {
+		g.orderIdx = make([]int32, 0, k)
+	}
+	g.orderIdx = g.orderIdx[:0]
+	ids, kids := g.soa.ids, g.soa.kids
+	for j := 0; j < k; j++ {
+		id := ids[g.ref[j]]
+		kid := kids[g.ref[j]]
+		pos := sort.Search(len(g.orderIdx), func(i int) bool {
+			oj := g.ref[g.orderIdx[i]]
+			if oid := ids[oj]; oid != id {
+				return oid > id
+			}
+			return kids[oj] > kid
+		})
+		g.orderIdx = append(g.orderIdx, 0)
+		copy(g.orderIdx[pos+1:], g.orderIdx[pos:])
+		g.orderIdx[pos] = int32(j)
+	}
+	g.idxOK.Store(true)
+	return g.orderIdx
+}
+
+// release drops one view reference; the last one resets the core and
+// returns it to the pool. Called from Inbox.Recycle on the engine
+// goroutine.
+func (g *GroupInbox) release() {
+	if g.refs.Add(-1) > 0 {
+		return
+	}
+	// Zero exactly the counts this round touched; the dense array
+	// itself persists, keeping the steady-state fill allocation-free.
+	for _, i := range g.ref {
+		g.kidCount[g.soa.kids[i]] = 0
+	}
+	g.soa = nil
+	g.ref = g.ref[:0]
+	g.orderIdx = g.orderIdx[:0]
+	g.idxOK.Store(false)
+	g.total = 0
+	groupInboxPool.Put(g)
+}
+
+// Len returns the number of distinct messages in the shared core.
+func (g *GroupInbox) Len() int { return len(g.ref) }
+
+// TotalCount returns the total number of message copies in the shared
+// core (distinct messages for an innumerate class).
+func (g *GroupInbox) TotalCount() int { return g.total }

@@ -95,6 +95,31 @@ func (kb *KeyBuilder) Bytes() []byte { return kb.buf }
 // string-free path protocol tables use every round.
 func (kb *KeyBuilder) Intern(it *Interner) KeyID { return it.InternBytes(kb.buf) }
 
+// ScratchKeyer is an optional Payload extension for the engines' send
+// path: a payload that can rebuild its canonical key into a
+// caller-provided KeyBuilder implements it, and the router then builds
+// the key in round scratch and interns it directly — no per-send key
+// string is ever allocated once the key has been seen.
+//
+// BuildKey must Reset the builder and produce exactly the bytes of
+// Key(): the two are interchangeable by contract (pinned by the
+// protocols' key tests). Payloads that cache their canonical key at
+// construction (numbcast bundles, classical EIG states) gain nothing
+// from implementing it and stay on the plain Key path.
+type ScratchKeyer interface {
+	Payload
+	BuildKey(kb *KeyBuilder)
+}
+
+// ScratchKey materialises a ScratchKeyer's canonical key as a fresh
+// string. Payload types implement Key as ScratchKey(p) so Key and
+// BuildKey cannot diverge; hot paths never call it.
+func ScratchKey(p ScratchKeyer) string {
+	var kb KeyBuilder
+	p.BuildKey(&kb)
+	return kb.String()
+}
+
 // Raw is a generic opaque payload used by tests and Byzantine strategies
 // that need to inject arbitrary bytes.
 type Raw string

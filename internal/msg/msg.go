@@ -194,6 +194,12 @@ type Delivered struct {
 type Inbox struct {
 	numerate bool
 	interned bool // every message carries a KeyID
+	// shared, when non-nil, makes this inbox a read-only view over a
+	// GroupInbox: the distinct set, the counts and the sort index all
+	// live in the shared core (filled once per equivalence class of
+	// recipients), and only the materialised []Message view remains
+	// view-local. All other storage fields are unused in this mode.
+	shared *GroupInbox
 	// Distinct messages in arrival order, in exactly one of three
 	// storages: int32 references into a caller-owned SoA send arena (soa;
 	// the engines' path — the n^2 delivery fan-out never copies Message
@@ -215,6 +221,9 @@ type Inbox struct {
 
 // distinctLen returns the number of distinct messages.
 func (in *Inbox) distinctLen() int {
+	if in.shared != nil {
+		return len(in.shared.ref)
+	}
 	if in.soa != nil || in.arena != nil {
 		return len(in.ref)
 	}
@@ -225,6 +234,8 @@ func (in *Inbox) distinctLen() int {
 // (arrival order), touching only the identifier column.
 func (in *Inbox) refID(j int) hom.Identifier {
 	switch {
+	case in.shared != nil:
+		return in.shared.soa.ids[in.shared.ref[j]]
 	case in.soa != nil:
 		return in.soa.ids[in.ref[j]]
 	case in.arena != nil:
@@ -238,6 +249,8 @@ func (in *Inbox) refID(j int) hom.Identifier {
 // touching only the KeyID column.
 func (in *Inbox) refKid(j int) KeyID {
 	switch {
+	case in.shared != nil:
+		return in.shared.soa.kids[in.shared.ref[j]]
 	case in.soa != nil:
 		return in.soa.kids[in.ref[j]]
 	case in.arena != nil:
@@ -251,6 +264,8 @@ func (in *Inbox) refKid(j int) KeyID {
 // order). Only the uninterned fallbacks and foreign Count queries need it.
 func (in *Inbox) refKey(j int) string {
 	switch {
+	case in.shared != nil:
+		return in.shared.soa.keys[in.shared.ref[j]]
 	case in.soa != nil:
 		return in.soa.keys[in.ref[j]]
 	case in.arena != nil:
@@ -263,6 +278,8 @@ func (in *Inbox) refKey(j int) string {
 // refMessage materialises the j-th distinct message (arrival order).
 func (in *Inbox) refMessage(j int) Message {
 	switch {
+	case in.shared != nil:
+		return in.shared.soa.Message(in.shared.ref[j])
 	case in.soa != nil:
 		return in.soa.Message(in.ref[j])
 	case in.arena != nil:
@@ -270,6 +287,16 @@ func (in *Inbox) refMessage(j int) Message {
 	default:
 		return in.msgs[j]
 	}
+}
+
+// countAtRef returns the multiplicity of the j-th distinct message
+// (arrival order) on the interned paths, reading the shared core's
+// counts for views.
+func (in *Inbox) countAtRef(j int) int {
+	if in.shared != nil {
+		return int(in.shared.kidCount[in.refKid(j)])
+	}
+	return int(in.kidCount[in.refKid(j)])
 }
 
 // NewInbox builds an inbox with the requested reception semantics from the
@@ -335,14 +362,20 @@ func (in *Inbox) Recycle() {
 	if !in.pooled {
 		return
 	}
-	if in.interned {
+	switch {
+	case in.shared != nil:
+		// A view owns no counts: release the reference on the shared
+		// core (the last view returns the core to its own pool).
+		in.shared.release()
+		in.shared = nil
+	case in.interned:
 		// Zero exactly the counts this round touched; the dense array
 		// itself persists across rounds, which is what makes the
 		// steady-state fill allocation-free.
 		for i, n := 0, in.distinctLen(); i < n; i++ {
 			in.kidCount[in.refKid(i)] = 0
 		}
-	} else {
+	default:
 		clear(in.counts)
 	}
 	// Drop payload references so the pool retains no garbage.
@@ -546,6 +579,11 @@ func (in *Inbox) addLegacy(m Message, numerate bool) {
 // receivers that iterate through the indexed accessors stop here — only
 // Messages and FromIdentifier pay for the []Message view on top.
 func (in *Inbox) sortIndex() []int32 {
+	if in.shared != nil {
+		// Views share the core's index: built once per equivalence
+		// class, safely published for concurrent readers.
+		return in.shared.sortIndex()
+	}
 	if in.idxOK {
 		return in.orderIdx
 	}
@@ -623,8 +661,12 @@ func (in *Inbox) Count(m Message) int {
 		return in.counts[m.Key()]
 	}
 	if m.kid != NoKey {
-		if int(m.kid) < len(in.kidCount) {
-			return int(in.kidCount[m.kid])
+		counts := in.kidCount
+		if in.shared != nil {
+			counts = in.shared.kidCount
+		}
+		if int(m.kid) < len(counts) {
+			return int(counts[m.kid])
 		}
 		return 0
 	}
@@ -638,7 +680,7 @@ func (in *Inbox) countForeign(m Message) int {
 	key := m.Key()
 	for i, n := 0, in.distinctLen(); i < n; i++ {
 		if in.refKey(i) == key {
-			return int(in.kidCount[in.refKid(i)])
+			return in.countAtRef(i)
 		}
 	}
 	return 0
@@ -646,7 +688,12 @@ func (in *Inbox) countForeign(m Message) int {
 
 // TotalCount returns the total number of message copies received
 // (distinct messages for an innumerate inbox).
-func (in *Inbox) TotalCount() int { return in.total }
+func (in *Inbox) TotalCount() int {
+	if in.shared != nil {
+		return in.shared.total
+	}
+	return in.total
+}
 
 // Len returns the number of distinct messages.
 func (in *Inbox) Len() int { return in.distinctLen() }
@@ -670,6 +717,8 @@ func (in *Inbox) SenderAt(i int) hom.Identifier {
 func (in *Inbox) BodyAt(i int) Payload {
 	j := int(in.sortIndex()[i])
 	switch {
+	case in.shared != nil:
+		return in.shared.soa.bodies[in.shared.ref[j]]
 	case in.soa != nil:
 		return in.soa.bodies[in.ref[j]]
 	case in.arena != nil:
@@ -684,7 +733,7 @@ func (in *Inbox) BodyAt(i int) Payload {
 func (in *Inbox) CountAt(i int) int {
 	j := int(in.sortIndex()[i])
 	if in.interned {
-		return int(in.kidCount[in.refKid(j)])
+		return in.countAtRef(j)
 	}
 	return in.counts[in.refKey(j)]
 }
@@ -781,13 +830,13 @@ func (in *Inbox) CountDistinctIdentifiers(pred func(Message) bool) int {
 // degenerates to the number of distinct matching messages.
 func (in *Inbox) CountCopies(pred func(Message) bool) int {
 	if pred == nil {
-		return in.total
+		return in.TotalCount()
 	}
 	total := 0
 	if in.interned {
 		for _, j := range in.sortIndex() {
 			if pred(in.refMessage(int(j))) {
-				total += int(in.kidCount[in.refKid(int(j))])
+				total += in.countAtRef(int(j))
 			}
 		}
 		return total

@@ -117,16 +117,24 @@ func NewUnchecked(p hom.Params, opts Options) func(slot int) sim.Process {
 // Payloads
 // ---------------------------------------------------------------------------
 
+// Every payload implements msg.ScratchKeyer on top of msg.Payload: the
+// engines build the canonical key in round scratch and intern it, so
+// the send side allocates no key strings; Key is defined through
+// BuildKey so the two can never diverge.
+
 // ProposePayload is the body of the SR1 authenticated broadcast.
 type ProposePayload struct {
 	Phase int
 	V     hom.ValueSet
 }
 
-// Key implements msg.Payload.
-func (p ProposePayload) Key() string {
-	return msg.NewKey("propose").Int(p.Phase).Values(p.V).String()
+// BuildKey implements msg.ScratchKeyer.
+func (p ProposePayload) BuildKey(kb *msg.KeyBuilder) {
+	kb.Reset("propose").Int(p.Phase).Values(p.V)
 }
+
+// Key implements msg.Payload.
+func (p ProposePayload) Key() string { return msg.ScratchKey(p) }
 
 // VotePayload is the body of the SR3 authenticated broadcast.
 type VotePayload struct {
@@ -134,8 +142,13 @@ type VotePayload struct {
 	Val   hom.Value
 }
 
+// BuildKey implements msg.ScratchKeyer.
+func (p VotePayload) BuildKey(kb *msg.KeyBuilder) {
+	kb.Reset("vote").Int(p.Phase).Value(p.Val)
+}
+
 // Key implements msg.Payload.
-func (p VotePayload) Key() string { return msg.NewKey("vote").Int(p.Phase).Value(p.Val).String() }
+func (p VotePayload) Key() string { return msg.ScratchKey(p) }
 
 // LockPayload is the leader's direct ⟨lock v, ph⟩ message.
 type LockPayload struct {
@@ -143,8 +156,13 @@ type LockPayload struct {
 	Val   hom.Value
 }
 
+// BuildKey implements msg.ScratchKeyer.
+func (p LockPayload) BuildKey(kb *msg.KeyBuilder) {
+	kb.Reset("lock").Int(p.Phase).Value(p.Val)
+}
+
 // Key implements msg.Payload.
-func (p LockPayload) Key() string { return msg.NewKey("lock").Int(p.Phase).Value(p.Val).String() }
+func (p LockPayload) Key() string { return msg.ScratchKey(p) }
 
 // AckPayload is the direct ⟨ack v, ph⟩ message.
 type AckPayload struct {
@@ -152,24 +170,35 @@ type AckPayload struct {
 	Val   hom.Value
 }
 
+// BuildKey implements msg.ScratchKeyer.
+func (p AckPayload) BuildKey(kb *msg.KeyBuilder) {
+	kb.Reset("ack").Int(p.Phase).Value(p.Val)
+}
+
 // Key implements msg.Payload.
-func (p AckPayload) Key() string { return msg.NewKey("ack").Int(p.Phase).Value(p.Val).String() }
+func (p AckPayload) Key() string { return msg.ScratchKey(p) }
 
 // DecidePayload is the direct ⟨decide v⟩ relay message.
 type DecidePayload struct {
 	Val hom.Value
 }
 
+// BuildKey implements msg.ScratchKeyer.
+func (p DecidePayload) BuildKey(kb *msg.KeyBuilder) { kb.Reset("decide").Value(p.Val) }
+
 // Key implements msg.Payload.
-func (p DecidePayload) Key() string { return msg.NewKey("decide").Value(p.Val).String() }
+func (p DecidePayload) Key() string { return msg.ScratchKey(p) }
 
 // ProperPayload carries the sender's proper set, attached to every round.
 type ProperPayload struct {
 	V hom.ValueSet
 }
 
+// BuildKey implements msg.ScratchKeyer.
+func (p ProperPayload) BuildKey(kb *msg.KeyBuilder) { kb.Reset("proper").Values(p.V) }
+
 // Key implements msg.Payload.
-func (p ProperPayload) Key() string { return msg.NewKey("proper").Values(p.V).String() }
+func (p ProperPayload) Key() string { return msg.ScratchKey(p) }
 
 // ---------------------------------------------------------------------------
 // Process

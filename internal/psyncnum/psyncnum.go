@@ -94,10 +94,13 @@ type ProposePayload struct {
 	Val   hom.Value
 }
 
-// Key implements msg.Payload.
-func (p ProposePayload) Key() string {
-	return msg.NewKey("npropose").Int(p.Phase).Value(p.Val).String()
+// BuildKey implements msg.ScratchKeyer.
+func (p ProposePayload) BuildKey(kb *msg.KeyBuilder) {
+	kb.Reset("npropose").Int(p.Phase).Value(p.Val)
 }
+
+// Key implements msg.Payload.
+func (p ProposePayload) Key() string { return msg.ScratchKey(p) }
 
 // VotePayload is the body of the SR3 broadcast
 // (Broadcast(i, vote v, 4ph+2)).
@@ -106,8 +109,13 @@ type VotePayload struct {
 	Val   hom.Value
 }
 
+// BuildKey implements msg.ScratchKeyer.
+func (p VotePayload) BuildKey(kb *msg.KeyBuilder) {
+	kb.Reset("nvote").Int(p.Phase).Value(p.Val)
+}
+
 // Key implements msg.Payload.
-func (p VotePayload) Key() string { return msg.NewKey("nvote").Int(p.Phase).Value(p.Val).String() }
+func (p VotePayload) Key() string { return msg.ScratchKey(p) }
 
 // LockPayload is the leader's direct ⟨lock, v, ph⟩ message.
 type LockPayload struct {
@@ -115,8 +123,13 @@ type LockPayload struct {
 	Val   hom.Value
 }
 
+// BuildKey implements msg.ScratchKeyer.
+func (p LockPayload) BuildKey(kb *msg.KeyBuilder) {
+	kb.Reset("nlock").Int(p.Phase).Value(p.Val)
+}
+
 // Key implements msg.Payload.
-func (p LockPayload) Key() string { return msg.NewKey("nlock").Int(p.Phase).Value(p.Val).String() }
+func (p LockPayload) Key() string { return msg.ScratchKey(p) }
 
 // AckPayload is the direct ⟨ack, v, ph⟩ message.
 type AckPayload struct {
@@ -124,16 +137,24 @@ type AckPayload struct {
 	Val   hom.Value
 }
 
+// BuildKey implements msg.ScratchKeyer.
+func (p AckPayload) BuildKey(kb *msg.KeyBuilder) {
+	kb.Reset("nack").Int(p.Phase).Value(p.Val)
+}
+
 // Key implements msg.Payload.
-func (p AckPayload) Key() string { return msg.NewKey("nack").Int(p.Phase).Value(p.Val).String() }
+func (p AckPayload) Key() string { return msg.ScratchKey(p) }
 
 // ProperPayload carries the sender's proper set, attached every round.
 type ProperPayload struct {
 	V hom.ValueSet
 }
 
+// BuildKey implements msg.ScratchKeyer.
+func (p ProperPayload) BuildKey(kb *msg.KeyBuilder) { kb.Reset("nproper").Values(p.V) }
+
 // Key implements msg.Payload.
-func (p ProperPayload) Key() string { return msg.NewKey("nproper").Values(p.V).String() }
+func (p ProperPayload) Key() string { return msg.ScratchKey(p) }
 
 // Envelope packs a process's entire round traffic (broadcast bundle,
 // proper set, and any lock/ack message) into ONE payload. The paper's
@@ -147,14 +168,16 @@ type Envelope struct {
 	Parts []msg.Payload
 }
 
-// Key implements msg.Payload.
-func (e Envelope) Key() string {
-	k := msg.NewKey("nenv")
+// BuildKey implements msg.ScratchKeyer.
+func (e Envelope) BuildKey(kb *msg.KeyBuilder) {
+	kb.Reset("nenv")
 	for _, p := range e.Parts {
-		k.Str(p.Key())
+		kb.Str(p.Key())
 	}
-	return k.String()
 }
+
+// Key implements msg.Payload.
+func (e Envelope) Key() string { return msg.ScratchKey(e) }
 
 // ---------------------------------------------------------------------------
 // Process

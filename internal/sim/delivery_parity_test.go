@@ -130,6 +130,21 @@ func parityConfigs() map[string]sim.Config {
 	traffic.RecordTraffic = true
 	configs["record_traffic"] = traffic
 
+	// Recording plus pre-GST drops plus Byzantine multi-sends: the
+	// batched path must reconstruct the reference path's send-major
+	// Delivered order from its delivery bitmap under every mask.
+	trafficDrops := base(8, 3)
+	trafficDrops.RecordTraffic = true
+	trafficDrops.Params.T = 2
+	trafficDrops.Params.Synchrony = hom.PartiallySynchronous
+	trafficDrops.GST = 8
+	trafficDrops.Adversary = &adversary.Composite{
+		Selector: adversary.FirstT{},
+		Behavior: adversary.MimicFlood{},
+		Drops:    adversary.RandomDrops{Seed: 77, Prob: 0.4},
+	}
+	configs["record_traffic_drops"] = trafficDrops
+
 	return configs
 }
 

@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"testing"
+
+	"homonyms/internal/hom"
+	"homonyms/internal/msg"
+)
+
+// routerHarness assembles a Router over a hand-built config and drives
+// one round of all-to-all broadcast through it, so the classifier's
+// decisions can be inspected directly via SharedWith.
+type routerHarness struct {
+	cfg    Config
+	isBad  []bool
+	stats  Stats
+	intern *msg.Interner
+	r      *Router
+}
+
+func newRouterHarness(t *testing.T, cfg Config, corrupted []int) *routerHarness {
+	t.Helper()
+	h := &routerHarness{cfg: cfg, isBad: make([]bool, cfg.Params.N)}
+	for _, s := range corrupted {
+		h.isBad[s] = true
+	}
+	h.intern = msg.NewInterner()
+	h.r = NewRouter(&h.cfg, h.isBad, &h.stats, h.intern, cfg.RecordTraffic)
+	return h
+}
+
+// broadcastRound runs one round in which every correct slot broadcasts
+// one distinct payload, plus the given Byzantine targeted sends.
+func (h *routerHarness) broadcastRound(round int, byz map[int][]msg.TargetedSend) {
+	h.r.BeginRound(round)
+	for s := 0; s < h.cfg.Params.N; s++ {
+		if h.isBad[s] {
+			continue
+		}
+		h.r.RouteCorrect(s, []msg.Send{msg.Broadcast(msg.Raw("b|" + itoaTest(s)))})
+	}
+	for s, sends := range byz {
+		h.r.RouteByzantine(s, sends)
+	}
+	h.r.Flush()
+}
+
+func itoaTest(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// inboxFingerprint renders everything observable about an inbox.
+func inboxFingerprint(in *msg.Inbox) string {
+	s := itoaTest(in.Len()) + "/" + itoaTest(in.TotalCount())
+	for i, k := 0, in.Len(); i < k; i++ {
+		s += "|" + itoaTest(int(in.SenderAt(i))) + ":" + itoaTest(in.CountAt(i)) + ":" + in.MessageAt(i).Key()
+	}
+	return s
+}
+
+// drainInboxes fingerprints and recycles every correct slot's inbox
+// (mirroring the engines' per-round reception), returning the
+// fingerprints by slot.
+func (h *routerHarness) drainInboxes() []string {
+	out := make([]string, h.cfg.Params.N)
+	boxes := make([]*msg.Inbox, h.cfg.Params.N)
+	for s := 0; s < h.cfg.Params.N; s++ {
+		if h.isBad[s] {
+			continue
+		}
+		boxes[s] = h.r.Inbox(s)
+		out[s] = inboxFingerprint(boxes[s])
+	}
+	for _, in := range boxes {
+		if in != nil {
+			in.Recycle()
+		}
+	}
+	return out
+}
+
+func symmetricConfig(n, l int) Config {
+	return Config{
+		Params:     hom.Params{N: n, L: l, T: 1, Synchrony: hom.Synchronous},
+		Assignment: hom.RoundRobinAssignment(n, l),
+	}
+}
+
+// TestClassifierSymmetricRoundSharesPerGroup pins the headline case: in
+// an identifier-symmetric all-to-all round with no masks, every
+// identifier group's correct members share their group's first member's
+// fill — n inbox fills become l.
+func TestClassifierSymmetricRoundSharesPerGroup(t *testing.T) {
+	const n, l = 12, 4
+	h := newRouterHarness(t, symmetricConfig(n, l), nil)
+	h.broadcastRound(1, nil)
+
+	groups := h.cfg.Assignment.Groups(l)
+	for id, members := range groups {
+		rep := members[0]
+		for _, m := range members {
+			if got := h.r.SharedWith(m); got != rep {
+				t.Errorf("identifier %d slot %d: SharedWith = %d, want %d", id, m, got, rep)
+			}
+		}
+	}
+	fp := h.drainInboxes()
+	for _, members := range groups {
+		for _, m := range members[1:] {
+			if fp[m] != fp[members[0]] {
+				t.Errorf("slot %d inbox diverges from its representative", m)
+			}
+		}
+	}
+}
+
+// TestClassifierPerRecipientModeDisablesSharing pins the reference
+// path: with Config.Reception = ReceivePerRecipient nothing is shared.
+func TestClassifierPerRecipientModeDisablesSharing(t *testing.T) {
+	cfg := symmetricConfig(12, 4)
+	cfg.Reception = ReceivePerRecipient
+	h := newRouterHarness(t, cfg, nil)
+	h.broadcastRound(1, nil)
+	for s := 0; s < 12; s++ {
+		if h.r.SharedWith(s) != -1 {
+			t.Fatalf("slot %d shares under ReceivePerRecipient", s)
+		}
+	}
+}
+
+// TestClassifierByzantineMemberExcluded pins the corruption rule: a
+// Byzantine slot inside a group is not part of any reception class (it
+// receives no inbox), and the remaining correct members still share.
+func TestClassifierByzantineMemberExcluded(t *testing.T) {
+	const n, l = 12, 4
+	// Slot 0 holds identifier 1 together with slots 4 and 8; corrupt it.
+	h := newRouterHarness(t, symmetricConfig(n, l), []int{0})
+	h.broadcastRound(1, nil)
+
+	if got := h.r.SharedWith(0); got != -1 {
+		t.Fatalf("corrupted slot 0 classified into class %d", got)
+	}
+	// The group's correct members (4, 8) share, with 4 as representative.
+	if h.r.SharedWith(4) != 4 || h.r.SharedWith(8) != 4 {
+		t.Fatalf("correct homonyms of a corrupted slot do not share: %d, %d",
+			h.r.SharedWith(4), h.r.SharedWith(8))
+	}
+}
+
+// TestClassifierTargetedSendDiverges pins the batch-divergence rule: a
+// Byzantine targeted send to one group member gives that member a
+// different candidate batch, so it falls back to its own fill while the
+// untouched members keep sharing.
+func TestClassifierTargetedSendDiverges(t *testing.T) {
+	const n, l = 12, 4
+	h := newRouterHarness(t, symmetricConfig(n, l), []int{3})
+	// Identifier 1's correct members are 0, 4, 8. Target only slot 4.
+	h.broadcastRound(1, map[int][]msg.TargetedSend{
+		3: {{ToSlot: 4, Body: msg.Raw("poison")}},
+	})
+
+	if got := h.r.SharedWith(4); got != -1 {
+		t.Fatalf("targeted slot 4 still classified into class %d", got)
+	}
+	if h.r.SharedWith(0) != 0 || h.r.SharedWith(8) != 0 {
+		t.Fatalf("untouched homonyms stopped sharing: %d, %d",
+			h.r.SharedWith(0), h.r.SharedWith(8))
+	}
+	// Targeted sends to every member, even with byte-identical bodies,
+	// are distinct stamped sends: the classifier compares batches at the
+	// arena-index level (the only comparison that keeps traffic records
+	// and equal-key-different-sender corner cases provably identical to
+	// the reference path), so every touched member conservatively falls
+	// back to its own fill.
+	h.broadcastRound(2, map[int][]msg.TargetedSend{
+		3: {
+			{ToSlot: 0, Body: msg.Raw("same")},
+			{ToSlot: 4, Body: msg.Raw("same")},
+			{ToSlot: 8, Body: msg.Raw("same")},
+		},
+	})
+	if h.r.SharedWith(0) != -1 || h.r.SharedWith(4) != -1 || h.r.SharedWith(8) != -1 {
+		t.Fatalf("targeted members classified as shared: %d, %d, %d",
+			h.r.SharedWith(0), h.r.SharedWith(4), h.r.SharedWith(8))
+	}
+	// An untouched group (identifier 2: slots 1, 5, 9) keeps sharing.
+	if h.r.SharedWith(1) != 1 || h.r.SharedWith(5) != 1 || h.r.SharedWith(9) != 1 {
+		t.Fatalf("untouched group stopped sharing: %d, %d, %d",
+			h.r.SharedWith(1), h.r.SharedWith(5), h.r.SharedWith(9))
+	}
+}
+
+// maskOneSlot drops everything inbound to a single slot.
+type maskOneSlot struct{ victim int }
+
+func (m maskOneSlot) Corrupt(hom.Params, hom.Assignment, []hom.Value) []int { return nil }
+func (m maskOneSlot) Sends(int, int, *View) []msg.TargetedSend              { return nil }
+func (m maskOneSlot) Drop(_, from, to int) bool                             { return to == m.victim && from != to }
+
+// TestClassifierMaskDivergenceAndGST pins the pre/post-GST transition:
+// before GST a drop mask that singles out one group member forces that
+// member onto its own fill; from GST on the mask is void, the batches
+// realign, and the whole group shares again.
+func TestClassifierMaskDivergenceAndGST(t *testing.T) {
+	const n, l = 12, 4
+	cfg := symmetricConfig(n, l)
+	cfg.Params.Synchrony = hom.PartiallySynchronous
+	cfg.GST = 3
+	cfg.Adversary = maskOneSlot{victim: 4}
+	h := newRouterHarness(t, cfg, nil)
+
+	// Round 1 (< GST): slot 4's inbound mask diverges from its homonyms.
+	h.broadcastRound(1, nil)
+	if got := h.r.SharedWith(4); got != -1 {
+		t.Fatalf("pre-GST masked slot 4 still classified into class %d", got)
+	}
+	if h.r.SharedWith(0) != 0 || h.r.SharedWith(8) != 0 {
+		t.Fatalf("unmasked homonyms stopped sharing pre-GST: %d, %d",
+			h.r.SharedWith(0), h.r.SharedWith(8))
+	}
+	fp := h.drainInboxes()
+	if fp[4] == fp[0] {
+		t.Fatal("masked slot's inbox should differ pre-GST")
+	}
+
+	// Round 3 (>= GST): drops are void, the group realigns.
+	h.broadcastRound(3, nil)
+	if h.r.SharedWith(0) != 0 || h.r.SharedWith(4) != 0 || h.r.SharedWith(8) != 0 {
+		t.Fatalf("post-GST group does not share: %d, %d, %d",
+			h.r.SharedWith(0), h.r.SharedWith(4), h.r.SharedWith(8))
+	}
+	fp = h.drainInboxes()
+	if fp[4] != fp[0] {
+		t.Fatal("post-GST inboxes should be identical")
+	}
+}
+
+// TestClassifierVisibilityDivergence pins the visibility half of the
+// mask rule: a topology restriction that blinds one member to one
+// sender de-classifies exactly that member.
+func TestClassifierVisibilityDivergence(t *testing.T) {
+	const n, l = 12, 4
+	cfg := symmetricConfig(n, l)
+	cfg.Visibility = func(from, to int) bool { return !(to == 8 && from == 1) }
+	h := newRouterHarness(t, cfg, nil)
+	h.broadcastRound(1, nil)
+
+	if got := h.r.SharedWith(8); got != -1 {
+		t.Fatalf("visibility-restricted slot 8 still classified into class %d", got)
+	}
+	if h.r.SharedWith(0) != 0 || h.r.SharedWith(4) != 0 {
+		t.Fatalf("unrestricted homonyms stopped sharing: %d, %d",
+			h.r.SharedWith(0), h.r.SharedWith(4))
+	}
+}

@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"math/bits"
+	"slices"
+
 	"homonyms/internal/hom"
 	"homonyms/internal/msg"
 )
@@ -17,15 +20,40 @@ const (
 	// and each recipient's whole batch is then delivered at once — one
 	// bounds-checked copy of the index slice with the adversary's
 	// visibility and drop masks applied over the batch, and statistics
-	// accumulated per batch instead of per message.
+	// accumulated per batch instead of per message. Rounds that record
+	// traffic stay batched too: a per-(send, recipient) bitmap
+	// reconstructs the reference path's send-major Delivered order after
+	// the batches are flushed.
 	DeliverBatched DeliveryMode = iota
 	// DeliverPerMessage is the reference path: every (send, recipient)
-	// pair goes through the deliver hook individually. It is kept as the
-	// oracle the batched path is tested against, and it is what the
-	// engines fall back to when a round must record traffic (deliveries
-	// are recorded in send-major order, which a recipient-major batch
-	// walk does not produce).
+	// pair goes through the deliver hook individually, and deliveries
+	// are recorded inline in send-major order. It is kept as the oracle
+	// the batched path is tested against.
 	DeliverPerMessage
+)
+
+// ReceptionMode selects how per-recipient inboxes are built under
+// batched delivery. Both modes produce byte-identical Results (pinned
+// by the group-reception parity tests over every committed fuzz seed);
+// they differ only in how much fill work is shared.
+type ReceptionMode int
+
+const (
+	// ReceiveGroupShared is the default: after the round's batches are
+	// flushed, recipients are classified into equivalence classes — the
+	// correct members of one identifier group whose delivered index
+	// batches are byte-identical — and each class's inbox fill (dedup,
+	// KeyID-dense counts, sort index) is computed once in a shared
+	// msg.GroupInbox, with each member receiving a read-only view. In
+	// identifier-symmetric rounds (all-to-all broadcast, no divergent
+	// masks — every post-GST round of a fault-free execution) this cuts
+	// the n inbox fills to l, one per identifier group. Members whose
+	// batch diverges (targeted Byzantine sends, per-recipient visibility
+	// or drop masks) fall back to their own per-recipient fill.
+	ReceiveGroupShared ReceptionMode = iota
+	// ReceivePerRecipient is the reference path: every correct
+	// recipient fills its own inbox, as before group sharing existed.
+	ReceivePerRecipient
 )
 
 // BatchDropper is an optional Adversary extension consumed by the batched
@@ -65,7 +93,10 @@ func (s dropShim) DropBatch(round, toSlot int, fromSlots []int32, drop []bool) {
 // per-round structure-of-arrays arena (interning its canonical key, in
 // deterministic send order), routes deliveries as int32 arena indices,
 // enforces visibility, pre-GST drops and the restricted-Byzantine
-// budget, and accumulates the execution statistics.
+// budget, accumulates the execution statistics, and classifies
+// recipients into identifier-group equivalence classes so byte-identical
+// batches are filled into one shared inbox core instead of one per
+// process.
 //
 // It exists so the two engines cannot diverge: they share routing code
 // instead of mirroring it. All its buffers are engine round scratch,
@@ -81,32 +112,51 @@ type Router struct {
 	dropper    BatchDropper // nil iff adv is nil
 	gst        int
 	mode       DeliveryMode
+	reception  ReceptionMode
 	record     bool
 	stats      *Stats
 	isBad      []bool
 	intern     *msg.Interner
 
 	arena      msg.SendArena
-	sendFrom   []int32   // arena column: sender slot per entry
-	sendKeyLen []int32   // arena column: body-key length (bandwidth proxy)
-	pend       [][]int32 // per recipient: routed arena indices, pre-mask
-	rawIdx     [][]int32 // per recipient: delivered arena indices
-	batch      []int32   // visibility-filtered batch scratch
-	froms      []int32   // batch sender-slot scratch for DropBatch
-	dropMask   []bool    // batch drop-mask scratch
-	perRecip   []int     // restricted-Byzantine budget counters
+	kb         msg.KeyBuilder // scratch for ScratchKeyer body keys
+	sendFrom   []int32        // arena column: sender slot per entry
+	sendKeyLen []int32        // arena column: body-key length (bandwidth proxy)
+	pend       [][]int32      // per recipient: routed arena indices, pre-mask
+	rawIdx     [][]int32      // per recipient: delivered arena indices
+	batch      []int32        // visibility-filtered batch scratch
+	froms      []int32        // batch sender-slot scratch for DropBatch
+	dropMask   []bool         // batch drop-mask scratch
+	perRecip   []int          // restricted-Byzantine budget counters
 	deliveries []msg.Delivered
+
+	// Group-shared reception state. groups holds, per identifier, the
+	// correct slots carrying it (fixed for the execution); the rest is
+	// round scratch driven by Flush's classifier.
+	groups    [][]int32
+	shareRep  []int32           // per slot: class representative slot, -1 = own fill
+	classSize []int32           // per representative slot: class member count
+	classGI   []*msg.GroupInbox // per representative slot: shared core, built lazily
+	dirty     []bool            // per slot: saw targeted (Byzantine) routing this round
+	scratch   []int32           // masked-batch scratch for comparisons and bad slots
+
+	// Traffic-record bitmap for batched rounds: bit (si, to) is set when
+	// send si was delivered to slot to. recStride is the per-send word
+	// count ((n+63)/64); Flush reconstructs the reference path's
+	// send-major Delivered order from it.
+	recBits   []uint64
+	recStride int
 
 	round   int
 	dropsOK bool
-	perMsg  bool // effective routing this round (mode or record forces it)
+	perMsg  bool // effective routing this round
+	share   bool // group-shared reception this round
 }
 
 // NewRouter builds the round router for one execution. isBad, stats and
 // intern are the engine's (the router writes stats and interns into the
 // engine's table); record reports whether deliveries must be recorded
-// for traffic or an observer, which forces per-message routing so the
-// recorded order matches the reference path.
+// for traffic or an observer.
 func NewRouter(cfg *Config, isBad []bool, stats *Stats, intern *msg.Interner, record bool) *Router {
 	n := cfg.Params.N
 	r := &Router{
@@ -117,6 +167,7 @@ func NewRouter(cfg *Config, isBad []bool, stats *Stats, intern *msg.Interner, re
 		adv:        cfg.Adversary,
 		gst:        cfg.GST,
 		mode:       cfg.Delivery,
+		reception:  cfg.Reception,
 		record:     record,
 		stats:      stats,
 		isBad:      isBad,
@@ -124,6 +175,17 @@ func NewRouter(cfg *Config, isBad []bool, stats *Stats, intern *msg.Interner, re
 		pend:       make([][]int32, n),
 		rawIdx:     make([][]int32, n),
 		perRecip:   make([]int, n),
+		groups:     make([][]int32, cfg.Params.L),
+		shareRep:   make([]int32, n),
+		classSize:  make([]int32, n),
+		classGI:    make([]*msg.GroupInbox, n),
+		dirty:      make([]bool, n),
+		recStride:  (n + 63) / 64,
+	}
+	for slot, id := range cfg.Assignment {
+		if !isBad[slot] && id.IsValid(cfg.Params.L) {
+			r.groups[id-1] = append(r.groups[id-1], int32(slot))
+		}
 	}
 	if r.adv != nil {
 		if bd, ok := r.adv.(BatchDropper); ok {
@@ -135,13 +197,14 @@ func NewRouter(cfg *Config, isBad []bool, stats *Stats, intern *msg.Interner, re
 	return r
 }
 
-// BeginRound resets the round scratch. Arena indices and inboxes from the
-// previous round become invalid.
+// BeginRound resets the round scratch. Arena indices, inboxes and shared
+// inbox views from the previous round become invalid.
 func (r *Router) BeginRound(round int) {
 	r.round = round
 	r.dropsOK = r.adv != nil &&
 		r.params.Synchrony == hom.PartiallySynchronous && round < r.gst
-	r.perMsg = r.mode == DeliverPerMessage || r.record
+	r.perMsg = r.mode == DeliverPerMessage
+	r.share = !r.perMsg && r.reception == ReceiveGroupShared
 	r.arena.Reset()
 	r.sendFrom = r.sendFrom[:0]
 	r.sendKeyLen = r.sendKeyLen[:0]
@@ -149,17 +212,33 @@ func (r *Router) BeginRound(round int) {
 	for to := 0; to < r.n; to++ {
 		r.pend[to] = r.pend[to][:0]
 		r.rawIdx[to] = r.rawIdx[to][:0]
+		r.shareRep[to] = -1
+		r.classSize[to] = 0
+		r.classGI[to] = nil
+		r.dirty[to] = false
 	}
 }
 
 // stamp appends one send to the arena (interning its key — this is the
 // only place a round's keys are interned, so intern order is send order
 // in both delivery modes) and records its routing metadata columns.
+// Payloads that implement msg.ScratchKeyer have their body key built in
+// the router's scratch KeyBuilder and interned directly, so repeat sends
+// allocate no key strings at all; other payloads fall back to Key().
 func (r *Router) stamp(from int, body msg.Payload) int32 {
-	bodyKey := body.Key()
-	si := r.arena.Append(r.intern, r.assignment[from], body, bodyKey)
+	var si int32
+	var keyLen int
+	if sk, ok := body.(msg.ScratchKeyer); ok {
+		sk.BuildKey(&r.kb)
+		keyLen = len(r.kb.Bytes())
+		si = r.arena.AppendInterned(r.intern, r.assignment[from], body, r.kb.Intern(r.intern))
+	} else {
+		bodyKey := body.Key()
+		keyLen = len(bodyKey)
+		si = r.arena.Append(r.intern, r.assignment[from], body, bodyKey)
+	}
 	r.sendFrom = append(r.sendFrom, int32(from))
-	r.sendKeyLen = append(r.sendKeyLen, int32(len(bodyKey)))
+	r.sendKeyLen = append(r.sendKeyLen, int32(keyLen))
 	return si
 }
 
@@ -217,6 +296,9 @@ func (r *Router) RouteCorrect(from int, sends []msg.Send) {
 
 // RouteByzantine stamps and routes one corrupted slot's targeted sends,
 // enforcing the restricted-Byzantine one-message-per-recipient budget.
+// Targeted routing is the one way members of an identifier group can be
+// handed diverging batches, so each touched recipient is marked dirty
+// for the reception classifier.
 func (r *Router) RouteByzantine(from int, sends []msg.TargetedSend) {
 	if len(sends) == 0 {
 		return
@@ -238,78 +320,255 @@ func (r *Router) RouteByzantine(from int, sends []msg.TargetedSend) {
 			r.perRecip[ts.ToSlot]++
 		}
 		si := r.stamp(from, ts.Body)
+		r.dirty[ts.ToSlot] = true
 		r.route(from, ts.ToSlot, si)
 	}
 }
 
+// batchStats accumulates one recipient batch's statistic deltas, so a
+// shared class can apply its representative's deltas once per member
+// without recomputing the batch.
+type batchStats struct {
+	sent, delivered, dropped, payload int
+}
+
+// applyStats folds one batch's deltas into the execution statistics.
+func (r *Router) applyStats(bs *batchStats) {
+	r.stats.MessagesSent += bs.sent
+	r.stats.MessagesDelivered += bs.delivered
+	r.stats.MessagesDropped += bs.dropped
+	r.stats.PayloadBytes += bs.payload
+}
+
+// maskBatch applies the visibility and drop masks over one recipient's
+// candidate batch, appending survivors to dst and accumulating the
+// recipient's stat deltas into bs. It touches only shared mask scratch,
+// never router state, so the classifier can probe a class member's
+// outcome without committing it.
+func (r *Router) maskBatch(to int, cand, dst []int32, bs *batchStats) []int32 {
+	bs.sent += len(cand)
+
+	// Visibility mask (topology restrictions are rare; the common case
+	// keeps the original batch untouched).
+	vis := cand
+	if r.visibility != nil {
+		r.batch = r.batch[:0]
+		for _, si := range cand {
+			if r.visibility(int(r.sendFrom[si]), to) {
+				r.batch = append(r.batch, si)
+			}
+		}
+		vis = r.batch
+	}
+	if len(vis) == 0 {
+		return dst
+	}
+
+	// Drop mask, applied over the whole batch. Self-deliveries are
+	// exempt regardless of what the mask says (model rule).
+	if r.dropsOK {
+		if cap(r.froms) < len(vis) {
+			r.froms = make([]int32, 0, 2*len(vis))
+			r.dropMask = make([]bool, 0, 2*len(vis))
+		}
+		r.froms = r.froms[:len(vis)]
+		r.dropMask = r.dropMask[:len(vis)]
+		for i, si := range vis {
+			r.froms[i] = r.sendFrom[si]
+			r.dropMask[i] = false
+		}
+		r.dropper.DropBatch(r.round, to, r.froms, r.dropMask)
+		for i, si := range vis {
+			if r.dropMask[i] && int(r.froms[i]) != to {
+				bs.dropped++
+				continue
+			}
+			dst = append(dst, si)
+			bs.delivered++
+			bs.payload += int(r.sendKeyLen[si])
+		}
+		return dst
+	}
+
+	for _, si := range vis {
+		dst = append(dst, si)
+		bs.delivered++
+		bs.payload += int(r.sendKeyLen[si])
+	}
+	return dst
+}
+
+// flushOwn delivers one recipient's batch through the per-recipient
+// path: mask, copy into the delivery index (bad recipients only count),
+// commit statistics and record bits.
+func (r *Router) flushOwn(to int) {
+	cand := r.pend[to]
+	if len(cand) == 0 {
+		return
+	}
+	var bs batchStats
+	if r.isBad[to] {
+		r.scratch = r.maskBatch(to, cand, r.scratch[:0], &bs)
+		r.markRecord(r.scratch, to)
+	} else {
+		r.rawIdx[to] = r.maskBatch(to, cand, r.rawIdx[to], &bs)
+		r.markRecord(r.rawIdx[to], to)
+	}
+	r.applyStats(&bs)
+}
+
 // Flush completes the round's routing. In batched mode it delivers one
-// batch per recipient: the candidate index slice is masked for
-// visibility, the adversary's drop mask is applied over the whole batch
-// (one BatchDropper call per recipient per round), survivors are copied
-// into the recipient's delivery index in a single append, and statistics
-// are accumulated per batch. Per-message mode already delivered inline,
-// so Flush is a no-op there.
+// batch per recipient (visibility mask, one drop-mask application per
+// batch, survivors copied in a single append, statistics per batch) and,
+// under group-shared reception, classifies recipients while doing so:
+// the correct members of each identifier group receive identical
+// candidate batches whenever no targeted send touched them, so the
+// representative's masked batch can stand for every member whose masks
+// agree — those members skip the mask application and the index copy
+// entirely when no mask can apply (post-GST, no visibility restriction:
+// zero BatchDropper probes for the whole group), and otherwise are
+// probed once each and compared, falling back to their own batch when
+// the masks diverge. Per-message mode already delivered inline, so Flush
+// only has work in batched mode.
 func (r *Router) Flush() {
 	if r.perMsg {
 		return
 	}
+	r.resetRecord()
+	if !r.share {
+		for to := 0; to < r.n; to++ {
+			r.flushOwn(to)
+		}
+		r.buildRecord()
+		return
+	}
+
+	// trivialMask: no mask can change a batch this round, so members
+	// with equal candidate batches are guaranteed equal deliveries.
+	trivialMask := r.visibility == nil && !r.dropsOK
+
+	for gi := range r.groups {
+		members := r.groups[gi]
+		if len(members) == 0 {
+			continue
+		}
+		rep := int(members[0])
+		if len(members) == 1 {
+			r.flushOwn(rep)
+			continue
+		}
+		repPend := r.pend[rep]
+		var repStats batchStats
+		r.rawIdx[rep] = r.maskBatch(rep, repPend, r.rawIdx[rep], &repStats)
+		r.applyStats(&repStats)
+		r.markRecord(r.rawIdx[rep], rep)
+		r.shareRep[rep] = int32(rep)
+		shares := int32(1)
+		for _, m32 := range members[1:] {
+			m := int(m32)
+			// Members of one group receive the round's broadcast and
+			// group-targeted sends in identical stamp order; only
+			// targeted (Byzantine) routing can diverge the candidate
+			// batches, so the comparison is skipped when neither slot
+			// was touched by one.
+			if (r.dirty[rep] || r.dirty[m]) && !slices.Equal(r.pend[m], repPend) {
+				r.flushOwn(m)
+				continue
+			}
+			if trivialMask {
+				// Identical candidates, no masks: the representative's
+				// delivered batch is the member's, with no per-member
+				// mask probe or index copy at all.
+				r.shareRep[m] = int32(rep)
+				shares++
+				r.applyStats(&repStats)
+				r.markRecord(r.rawIdx[rep], m)
+				continue
+			}
+			// Masks are per-recipient: probe this member's own masked
+			// outcome and share only when it matches the
+			// representative's byte for byte.
+			var ms batchStats
+			r.scratch = r.maskBatch(m, r.pend[m], r.scratch[:0], &ms)
+			r.applyStats(&ms)
+			if slices.Equal(r.scratch, r.rawIdx[rep]) {
+				r.shareRep[m] = int32(rep)
+				shares++
+				r.markRecord(r.rawIdx[rep], m)
+			} else {
+				r.rawIdx[m] = append(r.rawIdx[m], r.scratch...)
+				r.markRecord(r.rawIdx[m], m)
+			}
+		}
+		if shares == 1 {
+			r.shareRep[rep] = -1
+		} else {
+			r.classSize[rep] = shares
+		}
+	}
+	// Bad recipients belong to no reception class (they get no inbox)
+	// but their batches still count toward the statistics.
 	for to := 0; to < r.n; to++ {
-		cand := r.pend[to]
-		if len(cand) == 0 {
-			continue
+		if r.isBad[to] {
+			r.flushOwn(to)
 		}
-		r.stats.MessagesSent += len(cand)
+	}
+	r.buildRecord()
+}
 
-		// Visibility mask (topology restrictions are rare; the common
-		// case keeps the original batch untouched).
-		vis := cand
-		if r.visibility != nil {
-			r.batch = r.batch[:0]
-			for _, si := range cand {
-				if r.visibility(int(r.sendFrom[si]), to) {
-					r.batch = append(r.batch, si)
+// resetRecord sizes and zeroes the delivery bitmap for the round's
+// stamped sends (no-op unless recording).
+func (r *Router) resetRecord() {
+	if !r.record {
+		return
+	}
+	words := r.arena.Len() * r.recStride
+	if cap(r.recBits) < words {
+		r.recBits = make([]uint64, words)
+		return
+	}
+	r.recBits = r.recBits[:words]
+	clear(r.recBits)
+}
+
+// markRecord sets the bitmap bits for one recipient's delivered batch
+// (no-op unless recording).
+func (r *Router) markRecord(delivered []int32, to int) {
+	if !r.record {
+		return
+	}
+	w, b := to>>6, uint(to&63)
+	for _, si := range delivered {
+		r.recBits[int(si)*r.recStride+w] |= 1 << b
+	}
+}
+
+// buildRecord reconstructs the recorded deliveries from the bitmap in
+// the reference path's order: ascending send (stamp) index, then
+// ascending recipient slot — exactly the order deliverNow appends in,
+// so observers and traffic consumers cannot tell the modes apart.
+func (r *Router) buildRecord() {
+	if !r.record {
+		return
+	}
+	for si := 0; si < r.arena.Len(); si++ {
+		base := si * r.recStride
+		var m msg.Delivered
+		haveMsg := false
+		for w := 0; w < r.recStride; w++ {
+			word := r.recBits[base+w]
+			for word != 0 {
+				to := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if !haveMsg {
+					m = msg.Delivered{
+						Round: r.round, FromSlot: int(r.sendFrom[si]), Msg: r.arena.Message(int32(si)),
+					}
+					haveMsg = true
 				}
+				m.ToSlot = to
+				r.deliveries = append(r.deliveries, m)
 			}
-			vis = r.batch
-		}
-		if len(vis) == 0 {
-			continue
-		}
-
-		// Drop mask, applied over the whole batch. Self-deliveries are
-		// exempt regardless of what the mask says (model rule).
-		if r.dropsOK {
-			if cap(r.froms) < len(vis) {
-				r.froms = make([]int32, 0, 2*len(vis))
-				r.dropMask = make([]bool, 0, 2*len(vis))
-			}
-			r.froms = r.froms[:len(vis)]
-			r.dropMask = r.dropMask[:len(vis)]
-			for i, si := range vis {
-				r.froms[i] = r.sendFrom[si]
-				r.dropMask[i] = false
-			}
-			r.dropper.DropBatch(r.round, to, r.froms, r.dropMask)
-			kept := 0
-			for i, si := range vis {
-				if r.dropMask[i] && int(r.froms[i]) != to {
-					r.stats.MessagesDropped++
-					continue
-				}
-				vis[kept] = si
-				kept++
-			}
-			vis = vis[:kept]
-		}
-
-		// Deliver the surviving batch: one index-slice copy, per-batch
-		// statistics.
-		r.stats.MessagesDelivered += len(vis)
-		for _, si := range vis {
-			r.stats.PayloadBytes += int(r.sendKeyLen[si])
-		}
-		if !r.isBad[to] {
-			r.rawIdx[to] = append(r.rawIdx[to], vis...)
 		}
 	}
 }
@@ -318,10 +577,35 @@ func (r *Router) Flush() {
 // traffic records). Valid until the next BeginRound.
 func (r *Router) Arena() *msg.SendArena { return &r.arena }
 
-// Inbox builds the pooled SoA inbox for one recipient slot. The caller
-// must Recycle it before the next BeginRound.
+// Inbox builds the inbox for one recipient slot: a read-only view over
+// the slot's equivalence class's shared core when Flush classified it as
+// shareable, or its own pooled SoA inbox otherwise. The engine must
+// request the inbox of every correct slot exactly once per round (the
+// shared core's reference count is the class size) and Recycle each one
+// before the next BeginRound.
 func (r *Router) Inbox(to int) *msg.Inbox {
+	if r.share {
+		if rep := r.shareRep[to]; rep >= 0 {
+			gi := r.classGI[rep]
+			if gi == nil {
+				gi = msg.NewPooledGroupInbox(r.params.Numerate, &r.arena, r.rawIdx[rep], int(r.classSize[rep]))
+				r.classGI[rep] = gi
+			}
+			return msg.NewPooledInboxView(gi)
+		}
+	}
 	return msg.NewPooledInboxSoA(r.params.Numerate, &r.arena, r.rawIdx[to])
+}
+
+// SharedWith reports the representative slot whose shared inbox core
+// slot to consumes this round, or -1 when the slot fills its own inbox.
+// It is a classifier observability hook for tests and diagnostics;
+// engines never need it.
+func (r *Router) SharedWith(to int) int {
+	if !r.share {
+		return -1
+	}
+	return int(r.shareRep[to])
 }
 
 // Deliveries returns the round's recorded deliveries (empty unless the

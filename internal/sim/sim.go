@@ -35,7 +35,13 @@
 // structure-of-arrays arena and, by default, delivered as per-recipient
 // batches with the adversary's masks applied over each whole batch
 // (DeliverBatched); Config.Delivery selects the per-message reference
-// path, which is byte-identical by test.
+// path, which is byte-identical by test. On the reception side the
+// Router classifies, by default, each identifier group's correct
+// members into equivalence classes of byte-identical batches and fills
+// one shared inbox core per class (ReceiveGroupShared — the fill cost
+// of identifier-symmetric rounds scales with l instead of n);
+// Config.Reception selects the per-recipient reference path, which is
+// byte-identical by test.
 package sim
 
 import (
@@ -159,6 +165,12 @@ type Config struct {
 	// DeliverPerMessage selects the reference path. Both produce
 	// byte-identical Results — see DeliveryMode.
 	Delivery DeliveryMode
+	// Reception selects how inboxes are filled under batched delivery.
+	// The zero value is ReceiveGroupShared (one fill per identifier
+	// group when the group's delivered batches are byte-identical);
+	// ReceivePerRecipient selects the per-recipient reference path. Both
+	// produce byte-identical Results — see ReceptionMode.
+	Reception ReceptionMode
 }
 
 // Releaser is an optional Process extension: after an execution finishes,

@@ -339,12 +339,45 @@ func BoundaryParams(ns []int, v Variant) []hom.Params {
 	return out
 }
 
+// CellCost estimates the relative evaluation cost of one grid cell, for
+// cost-weighted scheduling. The estimate mirrors EvaluateCell's shape:
+// a solvable cell runs the whole positive suite (assignments ×
+// behaviors) of executions whose per-round delivery work is O(n²) and
+// whose round budgets grow with ℓ (partially synchronous phase cycles)
+// and t (EIG depth); an unsolvable cell runs one attack construction,
+// unless it is covered by a boundary, in which case it is practically
+// free. Only the ordering of costs matters — the scheduler uses them as
+// hints, never in results.
+func CellCost(p hom.Params, suite SuiteSize) int64 {
+	nn := int64(p.N) * int64(p.N)
+	rounds := int64(4*p.L + 8*p.T + 16)
+	switch {
+	case p.Solvable():
+		runs := int64(suite.Assignments) * int64(suite.Behaviors)
+		if runs < 1 {
+			runs = 1
+		}
+		return nn * rounds * runs
+	case p.N <= 3*p.T:
+		return 1 // covered by the classical bound, no execution
+	case p.RestrictedByzantine && p.Numerate,
+		p.Synchrony == hom.PartiallySynchronous && p.L > 3*p.T,
+		p.L == 3*p.T:
+		return nn * rounds // one attack construction
+	default:
+		return 1 // covered by the l = 3t boundary, no execution
+	}
+}
+
 // Matrix evaluates a full (n, t, l) grid for one variant. The cells are
 // independent deterministic executions, so they are fanned across
-// exec.Workers() workers; the result order (and every cell's content) is
-// identical to a sequential evaluation.
+// exec.Workers() workers with cost-weighted scheduling (largest
+// CellCost first — the big-n solvable cells no longer queue behind a
+// pool drained by cheap boundary cells); the result order (and every
+// cell's content) is identical to a sequential evaluation.
 func Matrix(ns, ts []int, v Variant, suite SuiteSize, seed int64) ([]*Cell, error) {
-	return exec.Map(GridParams(ns, ts, v), exec.Workers(),
+	return exec.MapWeighted(GridParams(ns, ts, v), exec.Workers(),
+		func(_ int, p hom.Params) int64 { return CellCost(p, suite) },
 		func(_ int, p hom.Params) (*Cell, error) {
 			return EvaluateCell(p, suite, seed)
 		})

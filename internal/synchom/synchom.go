@@ -55,15 +55,20 @@ func Rounds(alg classical.Algorithm) int {
 	return RoundsPerPhase*alg.DecisionRound() + 2
 }
 
-// selPayload carries a state proposal in a selection round.
+// selPayload carries a state proposal in a selection round. Like every
+// payload here it implements msg.ScratchKeyer, so the engines build its
+// key in round scratch (the embedded state/body key stays a cached
+// string on the inner type).
 type selPayload struct {
 	phase int
 	state classical.State
 }
 
-func (p selPayload) Key() string {
-	return msg.NewKey("sel").Int(p.phase).Str(p.state.Key()).String()
+func (p selPayload) BuildKey(kb *msg.KeyBuilder) {
+	kb.Reset("sel").Int(p.phase).Str(p.state.Key())
 }
+
+func (p selPayload) Key() string { return msg.ScratchKey(p) }
 
 // decPayload carries a decision report in a deciding round.
 type decPayload struct {
@@ -71,9 +76,11 @@ type decPayload struct {
 	val   hom.Value
 }
 
-func (p decPayload) Key() string {
-	return msg.NewKey("dec").Int(p.phase).Value(p.val).String()
+func (p decPayload) BuildKey(kb *msg.KeyBuilder) {
+	kb.Reset("dec").Int(p.phase).Value(p.val)
 }
+
+func (p decPayload) Key() string { return msg.ScratchKey(p) }
 
 // runPayload wraps the simulated algorithm's round message.
 type runPayload struct {
@@ -81,9 +88,11 @@ type runPayload struct {
 	body  msg.Payload
 }
 
-func (p runPayload) Key() string {
-	return msg.NewKey("run").Int(p.phase).Str(p.body.Key()).String()
+func (p runPayload) BuildKey(kb *msg.KeyBuilder) {
+	kb.Reset("run").Int(p.phase).Str(p.body.Key())
 }
+
+func (p runPayload) Key() string { return msg.ScratchKey(p) }
 
 // Process is the T(A) state machine for one process. It implements
 // sim.Process.
