@@ -593,7 +593,7 @@ func measureRouterFill(reception sim.ReceptionMode) metric {
 	isBad := make([]bool, n)
 	var stats sim.Stats
 	intern := msg.NewInterner()
-	router := sim.NewRouter(&cfg, isBad, &stats, intern, false)
+	router := sim.NewRouter(&cfg, isBad, &stats, intern, false, nil)
 	sends := make([][]msg.Send, n)
 	for s := range sends {
 		sends[s] = []msg.Send{msg.Broadcast(floodPayload{slot: s})}

@@ -43,12 +43,13 @@ func main() {
 		harvest    = flag.String("harvest", "", "directory to write shrunk expected-violation seeds into")
 		harvestMax = flag.Int("harvest-max", 3, "how many expected violations to harvest")
 		replay     = flag.String("replay", "", "replay every *.json seed in this directory instead of fuzzing")
+		invariants = flag.Bool("invariants", false, "run every scenario with the engines' per-round internal checks (paranoid mode)")
 		quiet      = flag.Bool("q", false, "print only the digest line and failures")
 	)
 	flag.Parse()
 
 	if *replay != "" {
-		os.Exit(replayDir(*replay))
+		os.Exit(replayDir(*replay, *invariants))
 	}
 
 	cfg := fuzz.Config{
@@ -58,6 +59,7 @@ func main() {
 		Gen:          fuzz.GenOptions{MaxN: *maxN},
 		Shrink:       *shrink,
 		KeepExpected: *harvestMax,
+		Invariants:   *invariants,
 	}
 	if *protocols != "" {
 		cfg.Gen.Protocols = strings.Split(*protocols, ",")
@@ -68,8 +70,8 @@ func main() {
 		os.Exit(2)
 	}
 	if *quiet {
-		fmt.Printf("fuzz campaign seed=%d count=%d digest=%s real=%d errors=%d\n",
-			rep.Seed, rep.Count, rep.Digest, len(rep.Real), len(rep.Errors))
+		fmt.Printf("fuzz campaign seed=%d count=%d digest=%s real=%d panics=%d errors=%d\n",
+			rep.Seed, rep.Count, rep.Digest, len(rep.Real), len(rep.Panics), len(rep.Errors))
 	} else {
 		fmt.Print(rep.Format())
 	}
@@ -79,12 +81,17 @@ func main() {
 			os.Exit(code)
 		}
 	}
+	if *out != "" && len(rep.Panics) > 0 {
+		if code := writeSeeds(*out, "panic", rep.Panics); code != 0 {
+			os.Exit(code)
+		}
+	}
 	if *harvest != "" && len(rep.Expected) > 0 {
 		if code := writeSeeds(*harvest, "expected", rep.Expected); code != 0 {
 			os.Exit(code)
 		}
 	}
-	if len(rep.Real) > 0 || len(rep.Errors) > 0 {
+	if len(rep.Real) > 0 || len(rep.Panics) > 0 || len(rep.Errors) > 0 {
 		os.Exit(1)
 	}
 }
@@ -115,8 +122,8 @@ func writeSeeds(dir, prefix string, found []fuzz.Found) int {
 }
 
 // replayDir replays a seed corpus and reports mismatches.
-func replayDir(dir string) int {
-	replayed, errs := fuzz.ReplayDir(dir)
+func replayDir(dir string, invariants bool) int {
+	replayed, errs := fuzz.ReplayDirOpts(dir, fuzz.Options{Invariants: invariants})
 	for _, err := range errs {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 	}

@@ -107,10 +107,16 @@ func check(res *sim.Result, procs []sim.Process) trace.Verdict {
 	stab := stabSuperround(res.GST)
 	lastFull := res.Rounds / 2
 
-	// Ground truth: which identifiers have a Byzantine holder, and which
-	// values each identifier's correct holders broadcast.
+	// Ground truth: which identifiers have an untrusted holder, and which
+	// values each identifier's correct holders broadcast. Faulted slots
+	// (injected crash/omission faults) count as untrusted like Byzantine
+	// ones: a crashed holder did broadcast before its window, so accepts
+	// under its identifier are legitimate, not forgeries.
 	byzID := make(map[hom.Identifier]bool)
 	for _, s := range res.Corrupted {
+		byzID[res.Assignment[s]] = true
+	}
+	for _, s := range res.Faulted {
 		byzID[res.Assignment[s]] = true
 	}
 	correctBodies := make(map[hom.Identifier]map[string]bool)
@@ -206,6 +212,12 @@ func init() {
 				return true, fmt.Sprintf("l = %d > 3t = %d (Proposition 6)", p.L, 3*p.T)
 			}
 			return false, fmt.Sprintf("l = %d <= 3t = %d: echo thresholds forgeable", p.L, 3*p.T)
+		},
+		ClaimsFaults: func(p hom.Params, byz, faulted int) (bool, string) {
+			// Proposition 6 counts Byzantine holders; a crashed or
+			// omitting holder withholds echoes, which the l > 3t echo
+			// threshold already absorbs for up to t arbitrary failures.
+			return protoreg.DefaultClaimsFaults(p, byz, faulted)
 		},
 		Constructible: func(p hom.Params) (bool, string) {
 			if p.L <= 2*p.T {

@@ -21,6 +21,7 @@ import (
 
 	"homonyms/internal/classical"
 	"homonyms/internal/hom"
+	"homonyms/internal/inject"
 	"homonyms/internal/psynchom"
 	"homonyms/internal/psyncnum"
 	"homonyms/internal/sim"
@@ -128,6 +129,14 @@ type Config struct {
 	// MaxRounds caps the execution; 0 selects the algorithm's suggested
 	// budget for the configured GST.
 	MaxRounds int
+	// Faults optionally injects benign faults (crash/recovery windows,
+	// omissions, duplication, replay — see package inject) into the
+	// execution; nil means none. Faulted slots are exempt from the
+	// verdict's properties, like corrupted ones.
+	Faults *inject.Schedule
+	// Invariants enables the engine's paranoid per-round self-checks
+	// (sim.Config.Invariants).
+	Invariants bool
 }
 
 // Result reports one façade execution.
@@ -171,6 +180,8 @@ func Run(cfg Config) (*Result, error) {
 		Adversary:  cfg.Adversary,
 		GST:        gst,
 		MaxRounds:  maxRounds,
+		Faults:     cfg.Faults,
+		Invariants: cfg.Invariants,
 	})
 	if err != nil {
 		return nil, err

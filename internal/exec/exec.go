@@ -11,10 +11,18 @@
 // construction). Every item runs exactly once, even after another item has
 // failed — cancellation would make the set of executed items timing
 // dependent — and the error returned is always the lowest-index one.
+//
+// Panic isolation: a panic inside fn never tears down the pool (or the
+// campaign driving it). Every invocation runs behind Protect, which
+// recovers a panic into a typed *PanicError carrying the item index, the
+// panic value and the stack; the item reports that error and every other
+// item's result is byte-identical to a panic-free run.
 package exec
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -23,11 +31,55 @@ import (
 // Workers returns the default worker count: one per available CPU.
 func Workers() int { return runtime.GOMAXPROCS(0) }
 
+// PanicError reports a panic recovered from one work item. Error() uses
+// only the index and the panic value — both pure functions of the item —
+// so error text folded into campaign digests stays identical across
+// worker counts; the stack (which embeds goroutine-dependent addresses)
+// is carried separately for logs.
+type PanicError struct {
+	// Index is the item whose invocation panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic at item %d: %v", e.Index, e.Value)
+}
+
+// Protect invokes fn, recovering a panic into a *PanicError for the
+// given item index. It is the panic boundary every pool item runs
+// behind; harnesses that execute user-supplied work outside a pool (the
+// fuzzer's scenario runner) call it directly so all panics flow through
+// one typed path.
+func Protect[R any](index int, fn func() (R, error)) (result R, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: index, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
 // MapN runs fn(i) for every i in [0, n) on at most `workers` goroutines
 // (0 or negative selects Workers()) and returns the results indexed by i.
-// If any invocation fails, the lowest-index error is returned and the
-// results are nil.
+// Panics in fn are recovered into *PanicError. If any invocation fails,
+// the lowest-index error is returned alongside the results: failed
+// indices hold the zero value, all other entries are exactly what a
+// failure-free run would have produced.
 func MapN[R any](n, workers int, fn func(i int) (R, error)) ([]R, error) {
+	results, errs := MapNCollect(n, workers, fn)
+	return results, firstError(errs)
+}
+
+// MapNCollect is MapN with per-item error reporting: errs[i] is the
+// error (possibly a recovered *PanicError) of item i, nil on success.
+// Harnesses that must degrade gracefully — report failed cells, keep the
+// surviving ones — consume this form directly.
+func MapNCollect[R any](n, workers int, fn func(i int) (R, error)) (results []R, errs []error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -37,27 +89,16 @@ func MapN[R any](n, workers int, fn func(i int) (R, error)) ([]R, error) {
 	if workers > n {
 		workers = n
 	}
-	results := make([]R, n)
+	results = make([]R, n)
+	errs = make([]error, n)
 	if workers == 1 {
 		// Same contract as the pooled path: every item runs even after a
-		// failure, and the lowest-index error wins.
-		var firstErr error
+		// failure.
 		for i := 0; i < n; i++ {
-			r, err := fn(i)
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue
-			}
-			results[i] = r
+			results[i], errs[i] = Protect(i, func() (R, error) { return fn(i) })
 		}
-		if firstErr != nil {
-			return nil, firstErr
-		}
-		return results, nil
+		return results, errs
 	}
-	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -69,17 +110,22 @@ func MapN[R any](n, workers int, fn func(i int) (R, error)) ([]R, error) {
 				if i >= n {
 					return
 				}
-				results[i], errs[i] = fn(i)
+				results[i], errs[i] = Protect(i, func() (R, error) { return fn(i) })
 			}
 		}()
 	}
 	wg.Wait()
+	return results, errs
+}
+
+// firstError returns the lowest-index non-nil error.
+func firstError(errs []error) error {
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return results, nil
+	return nil
 }
 
 // Map applies fn to every item on a bounded worker pool and returns the
@@ -105,6 +151,13 @@ func Map[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([
 // results are byte-identical to MapN for any cost function — and is
 // called once per index up front.
 func MapNWeighted[R any](n, workers int, cost func(i int) int64, fn func(i int) (R, error)) ([]R, error) {
+	results, errs := MapNWeightedCollect(n, workers, cost, fn)
+	return results, firstError(errs)
+}
+
+// MapNWeightedCollect is MapNWeighted with per-item error reporting; see
+// MapNCollect.
+func MapNWeightedCollect[R any](n, workers int, cost func(i int) int64, fn func(i int) (R, error)) (results []R, errs []error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -115,7 +168,7 @@ func MapNWeighted[R any](n, workers int, cost func(i int) int64, fn func(i int) 
 		workers = n
 	}
 	if workers == 1 || cost == nil {
-		return MapN(n, workers, fn)
+		return MapNCollect(n, workers, fn)
 	}
 	costs := make([]int64, n)
 	order := make([]int32, n)
@@ -130,8 +183,8 @@ func MapNWeighted[R any](n, workers int, cost func(i int) int64, fn func(i int) 
 		}
 		return order[a] < order[b] // total order: no stability needed
 	})
-	results := make([]R, n)
-	errs := make([]error, n)
+	results = make([]R, n)
+	errs = make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -144,27 +197,29 @@ func MapNWeighted[R any](n, workers int, cost func(i int) int64, fn func(i int) 
 					return
 				}
 				i := int(order[pos])
-				results[i], errs[i] = fn(i)
+				results[i], errs[i] = Protect(i, func() (R, error) { return fn(i) })
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return results, errs
 }
 
 // MapWeighted applies fn to every item with cost-aware scheduling. See
 // MapNWeighted for the contract.
 func MapWeighted[T, R any](items []T, workers int, cost func(i int, item T) int64, fn func(i int, item T) (R, error)) ([]R, error) {
+	results, errs := MapWeightedCollect(items, workers, cost, fn)
+	return results, firstError(errs)
+}
+
+// MapWeightedCollect applies fn to every item with cost-aware scheduling
+// and per-item error reporting; see MapNCollect.
+func MapWeightedCollect[T, R any](items []T, workers int, cost func(i int, item T) int64, fn func(i int, item T) (R, error)) ([]R, []error) {
 	var costN func(int) int64
 	if cost != nil {
 		costN = func(i int) int64 { return cost(i, items[i]) }
 	}
-	return MapNWeighted(len(items), workers, costN, func(i int) (R, error) {
+	return MapNWeightedCollect(len(items), workers, costN, func(i int) (R, error) {
 		return fn(i, items[i])
 	})
 }
@@ -172,17 +227,15 @@ func MapWeighted[T, R any](items []T, workers int, cost func(i int, item T) int6
 // Grid runs fn over the row-major cross product
 // {0..rows-1} x {0..cols-1} and returns the results as a rows x cols
 // matrix. The cells are scheduled like MapN over rows*cols items, so grid
-// evaluation saturates the pool even when rows < workers.
+// evaluation saturates the pool even when rows < workers. On error the
+// matrix still carries every successful cell.
 func Grid[R any](rows, cols, workers int, fn func(r, c int) (R, error)) ([][]R, error) {
 	flat, err := MapN(rows*cols, workers, func(i int) (R, error) {
 		return fn(i/cols, i%cols)
 	})
-	if err != nil {
-		return nil, err
-	}
 	out := make([][]R, rows)
 	for r := 0; r < rows; r++ {
 		out[r] = flat[r*cols : (r+1)*cols : (r+1)*cols]
 	}
-	return out, nil
+	return out, err
 }

@@ -29,6 +29,10 @@ type Config struct {
 	// KeepExpected is how many expected violations to record (shrunk)
 	// for seed harvesting; real violations are always recorded.
 	KeepExpected int
+	// Invariants runs every scenario with the engines' per-round
+	// internal checks enabled (Options.Invariants) — the CI hardening
+	// mode. An invariant failure surfaces as a harness error.
+	Invariants bool
 }
 
 // Found is one recorded scenario with its outcome and, when shrinking
@@ -53,6 +57,10 @@ type Report struct {
 	// Expected holds up to KeepExpected expected violations, shrunk:
 	// the harvest that becomes committed regression seeds.
 	Expected []Found `json:"expected,omitempty"`
+	// Panics holds every scenario whose execution panicked (caught at
+	// the exec.Protect boundary) — like Real, any entry fails CI, but
+	// the campaign itself completes and reports the rest.
+	Panics []Found `json:"panics,omitempty"`
 	// Errors holds the first few harness errors verbatim.
 	Errors []string `json:"errors,omitempty"`
 	// Digest folds every outcome digest in index order.
@@ -83,9 +91,10 @@ func Campaign(cfg Config) (*Report, error) {
 	if cfg.ShrinkBudget <= 0 {
 		cfg.ShrinkBudget = 200
 	}
+	opts := Options{Invariants: cfg.Invariants}
 	outs, err := exec.MapN(cfg.Count, cfg.Workers, func(i int) (*Outcome, error) {
 		rng := rand.New(rand.NewSource(subSeed(cfg.Seed, i)))
-		return Run(Generate(rng, cfg.Gen)), nil
+		return RunOpts(Generate(rng, cfg.Gen), opts), nil
 	})
 	if err != nil {
 		return nil, err
@@ -110,6 +119,8 @@ func Campaign(cfg Config) (*Report, error) {
 			if len(rep.Expected) < cfg.KeepExpected {
 				rep.Expected = append(rep.Expected, found(cfg, i, o))
 			}
+		case ClassPanic:
+			rep.Panics = append(rep.Panics, found(cfg, i, o))
 		case ClassError:
 			if len(rep.Errors) < 10 {
 				rep.Errors = append(rep.Errors, fmt.Sprintf("scenario %d: %s", i, o.Detail))
@@ -161,6 +172,12 @@ func (r *Report) Format() string {
 			fmt.Fprintf(&b, "    shrunk: %s\n", describe(f.Shrunk.Scenario))
 		}
 	}
+	for _, f := range r.Panics {
+		fmt.Fprintf(&b, "  PANIC at scenario %d: %s\n", f.Index, f.Outcome.Detail)
+		if f.Shrunk != nil {
+			fmt.Fprintf(&b, "    shrunk: %s\n", describe(f.Shrunk.Scenario))
+		}
+	}
 	for _, f := range r.Expected {
 		fmt.Fprintf(&b, "  expected violation at scenario %d (%s): %s\n",
 			f.Index, f.Outcome.ClaimsWhy, strings.Join(f.Outcome.Properties, ","))
@@ -177,7 +194,13 @@ func describe(sc Scenario) string {
 	if sc.Psync {
 		model = "psync"
 	}
-	return fmt.Sprintf("%s n=%d l=%d t=%d %s gst=%d sel=%s beh=%s drops=%s",
+	s := fmt.Sprintf("%s n=%d l=%d t=%d %s gst=%d sel=%s beh=%s drops=%s",
 		sc.Protocol, sc.N, sc.L, sc.T, model, sc.GST,
 		sc.Selector.Kind, sc.Behavior.Kind, sc.Drops.Kind)
+	if !sc.Faults.Empty() {
+		s += fmt.Sprintf(" faults=%dc/%do/%dd/%dr",
+			len(sc.Faults.Crashes), len(sc.Faults.Omissions),
+			len(sc.Faults.Duplicates), len(sc.Faults.Replays))
+	}
+	return s
 }

@@ -198,8 +198,8 @@ func TestReplayInternedPathStable(t *testing.T) {
 		for _, err := range errs {
 			t.Errorf("pass %d: %v", pass, err)
 		}
-		if replayed < 6 {
-			t.Fatalf("pass %d: replayed %d seeds, want all 6", pass, replayed)
+		if replayed < 9 {
+			t.Fatalf("pass %d: replayed %d seeds, want all 9", pass, replayed)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package fuzz
 import (
 	"math/rand"
 
+	"homonyms/internal/inject"
 	"homonyms/internal/protoreg"
 )
 
@@ -130,7 +131,71 @@ func Generate(rng *rand.Rand, opts GenOptions) Scenario {
 			}
 		}
 	}
+
+	// Injected process/link faults on about a quarter of scenarios. The
+	// draw comes after every older field, so the prefix of the rng stream
+	// — and with it every fault-free scenario — is unchanged.
+	if rng.Intn(4) == 0 {
+		sc.Faults = sampleFaults(rng, sc.N)
+	}
 	return sc
+}
+
+// sampleFaults draws a small injected-fault schedule: one or two
+// crash/crash-recovery faults, an omission window, and (rarely)
+// duplication or stale replay. Rounds stay in the opening window (1..8)
+// where they interleave with GST and the adversary; all slots are fair
+// game — faults on Byzantine slots are absorbed by the adversary, faults
+// on correct slots become Result.Faulted culprits.
+func sampleFaults(rng *rand.Rand, n int) *inject.Schedule {
+	var f inject.Schedule
+	if rng.Intn(2) == 0 {
+		k := 1 + rng.Intn(2)
+		for i := 0; i < k; i++ {
+			c := inject.Crash{Slot: rng.Intn(n), Round: 1 + rng.Intn(8)}
+			if rng.Intn(3) > 0 {
+				c.Recover = 1 + rng.Intn(6)
+			}
+			f.Crashes = append(f.Crashes, c)
+		}
+	}
+	if rng.Intn(2) == 0 {
+		o := inject.Omission{Slot: rng.Intn(n), From: 1 + rng.Intn(8), Seed: rng.Int63()}
+		switch rng.Intn(3) {
+		case 0:
+			o.Send = true
+		case 1:
+			o.Receive = true
+		default:
+			o.Send, o.Receive = true, true
+		}
+		if rng.Intn(2) == 0 {
+			o.Until = o.From + rng.Intn(6)
+		}
+		if rng.Intn(2) == 0 {
+			o.Prob = 0.3 + 0.6*rng.Float64()
+		}
+		f.Omissions = append(f.Omissions, o)
+	}
+	if rng.Intn(4) == 0 {
+		f.Duplicates = append(f.Duplicates, inject.Duplicate{
+			FromSlot: rng.Intn(n), ToSlot: rng.Intn(n), Round: 1 + rng.Intn(8),
+		})
+	}
+	if rng.Intn(4) == 0 {
+		src := 1 + rng.Intn(6)
+		f.Replays = append(f.Replays, inject.Replay{
+			FromSlot: rng.Intn(n), SourceRound: src, Round: src + 1 + rng.Intn(4), ToSlot: rng.Intn(n),
+		})
+	}
+	if f.Empty() {
+		// The quarter that reaches here should inject something: fall back
+		// to a single crash-recovery fault.
+		f.Crashes = append(f.Crashes, inject.Crash{
+			Slot: rng.Intn(n), Round: 1 + rng.Intn(4), Recover: 1 + rng.Intn(4),
+		})
+	}
+	return &f
 }
 
 // sampleShape draws (protocol, n, l, t, model flags) with two biases: t

@@ -18,13 +18,16 @@ package fuzz
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
 	"strings"
 
 	"homonyms/internal/adversary"
+	"homonyms/internal/exec"
 	"homonyms/internal/hom"
+	"homonyms/internal/inject"
 	"homonyms/internal/msg"
 	"homonyms/internal/protoreg"
 	"homonyms/internal/sim"
@@ -59,6 +62,13 @@ type Scenario struct {
 	Selector SelectorSpec `json:"selector"`
 	Behavior BehaviorSpec `json:"behavior"`
 	Drops    DropSpec     `json:"drops"`
+	// Faults is an optional injected fault schedule for correct slots:
+	// crash/crash-recovery, send/receive omission, duplication, replay
+	// (see package inject). Faults compose with the Byzantine adversary
+	// above; Run decides whether the protocol's claims survive the
+	// schedule (Byzantine-simulable faults within the t budget) or are
+	// voided by it.
+	Faults *inject.Schedule `json:"faults,omitempty"`
 }
 
 // SelectorSpec names the corruption selector: "none", "first", "random"
@@ -248,6 +258,7 @@ func (sc Scenario) Config() (sim.Config, error) {
 		Adversary:  adv,
 		GST:        gst,
 		MaxRounds:  maxRounds,
+		Faults:     sc.Faults,
 	}, nil
 }
 
@@ -265,9 +276,14 @@ const (
 	// or the registry claimed a region Table 1 calls unsolvable. Real.
 	ClassViolation Class = "VIOLATION"
 	// ClassError: the scenario could not run (invalid parameters,
-	// unconstructible factory, engine error, panic). Generator bugs
-	// surface here; campaigns treat errors as failures of the harness.
+	// unconstructible factory, engine error). Generator bugs surface
+	// here; campaigns treat errors as failures of the harness.
 	ClassError Class = "error"
+	// ClassPanic: a process or engine panicked mid-execution. The panic
+	// is caught at the exec.Protect boundary, so the campaign degrades
+	// (records the scenario, keeps running) instead of aborting; the
+	// outcome carries the panic value and replays from its seed.
+	ClassPanic Class = "panic"
 )
 
 // Outcome reports one scenario execution.
@@ -290,18 +306,46 @@ type Outcome struct {
 	Digest string `json:"digest"`
 }
 
-// Run executes one scenario and classifies the result. It never panics:
-// process or engine panics are caught and classified as ClassError, so a
-// campaign survives degenerate corners of the parameter space.
-func Run(sc Scenario) (out *Outcome) {
-	out = &Outcome{Scenario: sc, Class: ClassError}
-	defer func() {
-		if r := recover(); r != nil {
-			out.Class = ClassError
-			out.Detail = fmt.Sprintf("panic: %v", r)
+// Options tunes how a scenario is executed without being part of the
+// scenario itself (and therefore outside its digest's scenario half).
+type Options struct {
+	// Invariants enables the engines' per-round internal checks
+	// (sim.Config.Invariants): arena bounds, inbox issuance, group
+	// refcounts, equivalence-class byte-equality.
+	Invariants bool
+}
+
+// Run executes one scenario and classifies the result with default
+// Options. It never panics — see RunOpts.
+func Run(sc Scenario) *Outcome { return RunOpts(sc, Options{}) }
+
+// RunOpts executes one scenario and classifies the result. It never
+// panics: process or engine panics unwind to an exec.Protect boundary,
+// which converts them into a typed exec.PanicError; the outcome is then
+// classified ClassPanic with the panic value as detail, so a campaign
+// survives (and records) degenerate corners of the parameter space. The
+// panic-value text is deterministic; the goroutine stack stays out of
+// the digest.
+func RunOpts(sc Scenario, opts Options) *Outcome {
+	out, err := exec.Protect(0, func() (*Outcome, error) { return run(sc, opts), nil })
+	if err != nil {
+		o := &Outcome{Scenario: sc, Class: ClassError, Detail: err.Error()}
+		var pe *exec.PanicError
+		if errors.As(err, &pe) {
+			o.Class = ClassPanic
+			o.Detail = fmt.Sprintf("panic: %v", pe.Value)
 		}
-		out.Digest = out.digest()
-	}()
+		o.Digest = o.digest()
+		return o
+	}
+	return out
+}
+
+// run is the unprotected scenario execution: RunOpts wraps it so panics
+// become typed outcomes instead of tearing down the campaign.
+func run(sc Scenario, opts Options) (out *Outcome) {
+	out = &Outcome{Scenario: sc, Class: ClassError}
+	defer func() { out.Digest = out.digest() }()
 
 	proto, ok := protoreg.Get(sc.Protocol)
 	if !ok {
@@ -337,12 +381,27 @@ func Run(sc Scenario) (out *Outcome) {
 		procs[slot] = pr
 		return pr
 	}
+	cfg.Invariants = opts.Invariants
 	res, err := sim.Run(cfg)
 	if err != nil {
 		out.Detail = "sim: " + err.Error()
 		return out
 	}
 	out.Rounds = res.Rounds
+	// Injected faults narrow the claim: the schedule must stay within
+	// what a Byzantine adversary could simulate (duplication/replay
+	// exceed the restricted per-round budget), and the Byzantine slots
+	// plus the fault culprits must fit the protocol's t budget. Outside
+	// either condition a violation is an expected demonstration, not a
+	// bug. ClaimsWhy is not part of the digest, so fault-free seeds keep
+	// their digests.
+	if out.Claims && !sc.Faults.Empty() {
+		if ok, why := sc.Faults.Simulable(p.RestrictedByzantine); !ok {
+			out.Claims, out.ClaimsWhy = false, why
+		} else if ok, why := proto.VerdictFaults(p, len(res.Corrupted), len(res.Faulted)); !ok {
+			out.Claims, out.ClaimsWhy = false, why
+		}
+	}
 	verdict := proto.Verdict(res, procs)
 	out.Detail = verdict.String()
 	for _, prop := range verdict.Properties() {

@@ -78,7 +78,14 @@ func LoadSeed(path string) (SeedFile, error) {
 // The returned outcome is always non-nil; err describes the first
 // mismatch.
 func Replay(sf SeedFile) (*Outcome, error) {
-	o := Run(sf.Scenario)
+	return ReplayOpts(sf, Options{})
+}
+
+// ReplayOpts is Replay with execution options — the CI hardening job
+// replays the corpus with Invariants on, which must reproduce the same
+// pinned expectations as a plain replay.
+func ReplayOpts(sf SeedFile, opts Options) (*Outcome, error) {
+	o := RunOpts(sf.Scenario, opts)
 	if o.Class != sf.Expect.Class {
 		return o, fmt.Errorf("seed %s: class %s, want %s (%s)", sf.Name, o.Class, sf.Expect.Class, o.Detail)
 	}
@@ -101,6 +108,11 @@ func Replay(sf SeedFile) (*Outcome, error) {
 // returns the per-seed errors (nil entries omitted). A missing directory
 // is not an error: a repository starts with no regression seeds.
 func ReplayDir(dir string) (replayed int, errs []error) {
+	return ReplayDirOpts(dir, Options{})
+}
+
+// ReplayDirOpts is ReplayDir with execution options.
+func ReplayDirOpts(dir string, opts Options) (replayed int, errs []error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -122,7 +134,7 @@ func ReplayDir(dir string) (replayed int, errs []error) {
 			continue
 		}
 		replayed++
-		if _, err := Replay(sf); err != nil {
+		if _, err := ReplayOpts(sf, opts); err != nil {
 			errs = append(errs, err)
 		}
 	}

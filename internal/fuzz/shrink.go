@@ -1,18 +1,22 @@
 package fuzz
 
-import "homonyms/internal/protoreg"
+import (
+	"homonyms/internal/inject"
+	"homonyms/internal/protoreg"
+)
 
-// Shrink greedily minimises a violating scenario: it tries a fixed,
-// deterministic list of simplifications (weaker behavior, no drops,
-// simpler selector, fewer slots, fewer identifiers, fewer faults,
-// earlier GST, round-robin assignment, all-zero inputs) and keeps a
-// candidate whenever rerunning it reproduces the same classification and
-// still violates every property of the original. It returns the final
-// outcome and the number of executions spent (0 when the input is not a
-// violation). The result is a fixpoint: no single listed simplification
-// applies to it any more — a minimal counterexample in that sense.
+// Shrink greedily minimises a violating (or panicking) scenario: it
+// tries a fixed, deterministic list of simplifications (weaker behavior,
+// no drops, simpler selector, fewer injected faults, fewer slots, fewer
+// identifiers, fewer Byzantine faults, earlier GST, round-robin
+// assignment, all-zero inputs) and keeps a candidate whenever rerunning
+// it reproduces the same classification and still violates every
+// property of the original. It returns the final outcome and the number
+// of executions spent (0 when the input is not a violation or panic).
+// The result is a fixpoint: no single listed simplification applies to
+// it any more — a minimal counterexample in that sense.
 func Shrink(orig *Outcome, budget int) (*Outcome, int) {
-	if orig.Class != ClassExpected && orig.Class != ClassViolation {
+	if orig.Class != ClassExpected && orig.Class != ClassViolation && orig.Class != ClassPanic {
 		return nil, 0
 	}
 	want := orig.Properties
@@ -93,6 +97,45 @@ func candidates(sc Scenario) []Scenario {
 		add(c)
 	}
 
+	// Injected faults: remove the schedule entirely, then clear one fault
+	// list at a time, then drop the last entry of each list (repeated
+	// application empties any list, so the fixpoint keeps only the
+	// entries the failure needs).
+	if !sc.Faults.Empty() {
+		c := sc
+		c.Faults = nil
+		add(c)
+		f := *sc.Faults
+		if len(f.Crashes) > 0 {
+			g := f
+			g.Crashes = g.Crashes[:len(g.Crashes)-1]
+			c = sc
+			c.Faults = schedOrNil(g)
+			add(c)
+		}
+		if len(f.Omissions) > 0 {
+			g := f
+			g.Omissions = g.Omissions[:len(g.Omissions)-1]
+			c = sc
+			c.Faults = schedOrNil(g)
+			add(c)
+		}
+		if len(f.Duplicates) > 0 {
+			g := f
+			g.Duplicates = g.Duplicates[:len(g.Duplicates)-1]
+			c = sc
+			c.Faults = schedOrNil(g)
+			add(c)
+		}
+		if len(f.Replays) > 0 {
+			g := f
+			g.Replays = g.Replays[:len(g.Replays)-1]
+			c = sc
+			c.Faults = schedOrNil(g)
+			add(c)
+		}
+	}
+
 	// Selector: simplest deterministic form, then fewer explicit slots.
 	if sc.Selector.Kind == "random" || (sc.Selector.Kind == "slots" && len(sc.Selector.Slots) >= sc.T) {
 		c := sc
@@ -132,6 +175,7 @@ func candidates(sc Scenario) []Scenario {
 		if c.Drops.Kind == "targeted" && len(c.Drops.Targets) == 0 {
 			c.Drops = DropSpec{Kind: "none"}
 		}
+		c.Faults = trimFaults(sc.Faults, c.N)
 		c.MaxRounds = 0
 		add(c)
 	}
@@ -186,6 +230,45 @@ func candidates(sc Scenario) []Scenario {
 		add(c)
 	}
 	return out
+}
+
+// schedOrNil boxes a schedule, normalising empty to nil (the canonical
+// "no faults" encoding, so shrunk seeds omit the field).
+func schedOrNil(s inject.Schedule) *inject.Schedule {
+	if s.Empty() {
+		return nil
+	}
+	return &s
+}
+
+// trimFaults drops fault entries referencing slots at or beyond n,
+// keeping N-shrink candidates compilable.
+func trimFaults(s *inject.Schedule, n int) *inject.Schedule {
+	if s.Empty() {
+		return nil
+	}
+	var g inject.Schedule
+	for _, x := range s.Crashes {
+		if x.Slot < n {
+			g.Crashes = append(g.Crashes, x)
+		}
+	}
+	for _, x := range s.Omissions {
+		if x.Slot < n {
+			g.Omissions = append(g.Omissions, x)
+		}
+	}
+	for _, x := range s.Duplicates {
+		if x.FromSlot < n && x.ToSlot < n {
+			g.Duplicates = append(g.Duplicates, x)
+		}
+	}
+	for _, x := range s.Replays {
+		if x.FromSlot < n && x.ToSlot < n {
+			g.Replays = append(g.Replays, x)
+		}
+	}
+	return schedOrNil(g)
 }
 
 func filterBelow(xs []int, n int) []int {

@@ -123,6 +123,13 @@ func check(res *sim.Result, procs []sim.Process) trace.Verdict {
 	for _, s := range res.Corrupted {
 		byzHolders[res.Assignment[s]]++
 	}
+	// Faulted slots (injected crash/omission faults) count toward f_i
+	// like Byzantine holders: a holder that crashed mid-superround can
+	// legitimately contribute partial multiplicity that the bound must
+	// absorb rather than flag as forged.
+	for _, s := range res.Faulted {
+		byzHolders[res.Assignment[s]]++
+	}
 
 	// Correctness: in every stabilised superround sr, every correct
 	// process accepts (i, alpha' >= alpha, m, sr) within the superround.
@@ -201,6 +208,12 @@ func init() {
 				return false, fmt.Sprintf("n = %d <= 3t = %d", p.N, 3*p.T)
 			}
 			return true, fmt.Sprintf("n = %d > 3t = %d (Appendix A.3.1)", p.N, 3*p.T)
+		},
+		ClaimsFaults: func(p hom.Params, byz, faulted int) (bool, string) {
+			// The multiplicity bound alpha+f_i counts untrusted holders;
+			// crashed/omitting holders join f_i, so the n > 3t condition
+			// absorbs them while byz+faulted fits t.
+			return protoreg.DefaultClaimsFaults(p, byz, faulted)
 		},
 		Constructible: func(p hom.Params) (bool, string) {
 			if p.N <= 2*p.T {

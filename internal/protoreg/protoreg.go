@@ -55,6 +55,43 @@ type Protocol struct {
 	// at the given round, for value-flooding adversaries. Nil when the
 	// target has no forgeable wire format.
 	Forge func(p hom.Params, round int, v hom.Value) []msg.Payload
+	// ClaimsFaults reports whether the claim stretches to an execution
+	// where, besides byz corrupted slots, faulted more correct slots
+	// suffered benign injected faults (crash/recovery, omission). Nil
+	// selects the default: a crashed or omitting process is at most as
+	// harmful as a Byzantine one, so the claim survives exactly when
+	// byz+faulted fits the corruption budget t. Protocols whose condition
+	// counts something other than t (or that tolerate crashes more
+	// cheaply) override it. Duplication/replay simulability is NOT this
+	// hook's concern — the fuzzer voids claims separately when the
+	// schedule is not simulable in the model (inject.Schedule.Simulable).
+	ClaimsFaults func(p hom.Params, byz, faulted int) (bool, string)
+	// Hidden excludes the target from Names — the enumeration the fuzz
+	// generator draws from — while keeping it Get-table. Test-only
+	// targets (the deliberately panicking host) register hidden so
+	// campaigns only meet them when explicitly requested.
+	Hidden bool
+}
+
+// VerdictFaults applies the target's fault-tolerance claim hook
+// (ClaimsFaults, or the Byzantine-simulation default when nil).
+func (pr Protocol) VerdictFaults(p hom.Params, byz, faulted int) (bool, string) {
+	if pr.ClaimsFaults != nil {
+		return pr.ClaimsFaults(p, byz, faulted)
+	}
+	return DefaultClaimsFaults(p, byz, faulted)
+}
+
+// DefaultClaimsFaults is the registry-wide default fault-claim rule: a
+// benign-faulted correct process is dominated by a Byzantine one (a
+// crash is a Byzantine process that goes silent; an omission fault is
+// one that selectively withholds messages), so the claim holds iff the
+// combined count fits the model's corruption budget.
+func DefaultClaimsFaults(p hom.Params, byz, faulted int) (bool, string) {
+	if byz+faulted <= p.T {
+		return true, fmt.Sprintf("byz %d + faulted %d within t=%d (faults Byzantine-simulable)", byz, faulted, p.T)
+	}
+	return false, fmt.Sprintf("byz %d + faulted %d exceeds t=%d", byz, faulted, p.T)
 }
 
 // Verdict applies the target's checker (Check, or trace.Check when nil).
@@ -85,12 +122,15 @@ func Get(name string) (Protocol, bool) {
 	return p, ok
 }
 
-// Names returns the registered names in sorted order — the registry is a
-// map, and every fuzzer decision must be deterministic.
+// Names returns the registered non-hidden names in sorted order — the
+// registry is a map, and every fuzzer decision must be deterministic.
+// Hidden targets stay reachable through Get.
 func Names() []string {
 	out := make([]string, 0, len(registry))
-	for n := range registry {
-		out = append(out, n)
+	for n, p := range registry {
+		if !p.Hidden {
+			out = append(out, n)
+		}
 	}
 	sort.Strings(out)
 	return out

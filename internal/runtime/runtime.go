@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"homonyms/internal/hom"
+	"homonyms/internal/inject"
 	"homonyms/internal/msg"
 	"homonyms/internal/sim"
 )
@@ -93,6 +95,11 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 		}
 	}
 
+	inj, err := inject.Compile(cfg.Faults, n)
+	if err != nil {
+		return nil, err
+	}
+
 	gst := cfg.GST
 	if gst < 1 {
 		gst = 1
@@ -108,6 +115,13 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 	}
 	for i := range res.Decisions {
 		res.Decisions[i] = hom.NoValue
+	}
+	// Same filtering as the sequential kernel: only correct culprits are
+	// reported (faults on corrupted slots are the adversary's problem).
+	for _, s := range inj.Culprits() {
+		if !isBad[s] {
+			res.Faulted = append(res.Faulted, s)
+		}
 	}
 
 	// Spawn one goroutine per correct process. Each worker loops on its
@@ -187,23 +201,32 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 		intern.Reset()
 	}
 	record := cfg.RecordTraffic || observer != nil
-	router := sim.NewRouter(&cfg, isBad, &res.Stats, intern, record)
+	router := sim.NewRouter(&cfg, isBad, &res.Stats, intern, record, inj)
 	correctSends := make(map[int][]msg.Send, liveWorkers)
 	byzSends := make([][]msg.TargetedSend, n)
 	inboxes := make([]*msg.Inbox, n)
 	var view sim.View
+	var deadline time.Time
+	if cfg.Deadline > 0 {
+		deadline = time.Now().Add(cfg.Deadline)
+	}
 
 	for round := 1; round <= cfg.MaxRounds; round++ {
 		res.Rounds = round
 
-		// Phase 1: fan out prepare requests, gather sends.
+		// Phase 1: fan out prepare requests, gather sends. A worker whose
+		// slot is inside a crash window gets no request this round — it
+		// stays parked on its prepare channel, holding its pre-crash
+		// protocol state, and resumes when the window ends.
+		up := 0
 		for _, w := range workers {
-			if w != nil {
+			if w != nil && !inj.Down(w.slot, round) {
 				w.prepare <- prepareReq{round: round}
+				up++
 			}
 		}
 		clear(correctSends)
-		for i := 0; i < liveWorkers; i++ {
+		for i := 0; i < up; i++ {
 			resp := <-prepareOut
 			if len(resp.sends) > 0 {
 				correctSends[resp.slot] = resp.sends
@@ -246,11 +269,18 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 		for _, w := range workers {
 			if w != nil {
 				in := router.Inbox(w.slot)
+				if inj.Down(w.slot, round) {
+					// Crashed this round: the inbox is still drawn (and
+					// discarded) so shared-class reference counts drain,
+					// but the parked worker takes no step.
+					in.Recycle()
+					continue
+				}
 				inboxes[w.slot] = in
 				w.receive <- receiveReq{round: round, inbox: in}
 			}
 		}
-		for i := 0; i < liveWorkers; i++ {
+		for i := 0; i < up; i++ {
 			d := <-decisionOut
 			if res.DecidedAt[d.slot] == 0 && d.decided {
 				res.Decisions[d.slot] = d.value
@@ -269,6 +299,21 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 		}
 		if observer != nil {
 			observer.Observe(round, router.Deliveries())
+		}
+		if cfg.Invariants {
+			// Every worker that received a request this round has already
+			// answered, so an invariant abort here joins cleanly via stop.
+			if err := router.VerifyRound(); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.MaxSends > 0 && router.TotalStamped() >= cfg.MaxSends {
+			res.Stopped = sim.StopMessageBudget
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.Stopped = sim.StopDeadline
+			break
 		}
 
 		allDecided := true

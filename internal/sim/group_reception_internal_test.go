@@ -25,7 +25,7 @@ func newRouterHarness(t *testing.T, cfg Config, corrupted []int) *routerHarness 
 		h.isBad[s] = true
 	}
 	h.intern = msg.NewInterner()
-	h.r = NewRouter(&h.cfg, h.isBad, &h.stats, h.intern, cfg.RecordTraffic)
+	h.r = NewRouter(&h.cfg, h.isBad, &h.stats, h.intern, cfg.RecordTraffic, nil)
 	return h
 }
 

@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"fmt"
 	"math/bits"
 	"slices"
 
 	"homonyms/internal/hom"
+	"homonyms/internal/inject"
 	"homonyms/internal/msg"
 )
 
@@ -118,6 +120,27 @@ type Router struct {
 	isBad      []bool
 	intern     *msg.Interner
 
+	// Fault injection (package inject). inj is nil in fault-free
+	// executions; every query it answers is a pure function of
+	// (round, from, to), which is what keeps the two delivery modes, the
+	// two reception modes and the two engines identical under faults.
+	inj        *inject.Injector
+	replays    []inject.Replay // inj's replay specs, indexed like retained
+	retained   [][]msg.Payload // per replay spec: bodies captured at SourceRound
+	hasReplays bool
+	injRound   bool   // some fault can touch this round
+	anyDown    bool   // some slot is crashed this round
+	downNow    []bool // per slot: crashed this round
+
+	// Paranoid-mode invariant accounting (Config.Invariants): inboxes
+	// issued per slot and shared views issued per class representative,
+	// reset each round and checked by VerifyRound.
+	verify        bool
+	issued        []int8
+	viewsIssued   []int32
+	verifyScratch []int32
+	totalStamped  int
+
 	arena      msg.SendArena
 	kb         msg.KeyBuilder // scratch for ScratchKeyer body keys
 	sendFrom   []int32        // arena column: sender slot per entry
@@ -156,8 +179,12 @@ type Router struct {
 // NewRouter builds the round router for one execution. isBad, stats and
 // intern are the engine's (the router writes stats and interns into the
 // engine's table); record reports whether deliveries must be recorded
-// for traffic or an observer.
-func NewRouter(cfg *Config, isBad []bool, stats *Stats, intern *msg.Interner, record bool) *Router {
+// for traffic or an observer; inj is the compiled fault schedule (nil
+// for a fault-free execution) — the engine compiles it so validation
+// errors surface from Run, and shares it with the router so process
+// faults (crash windows) and link faults (omission, duplication,
+// replay) come from one source.
+func NewRouter(cfg *Config, isBad []bool, stats *Stats, intern *msg.Interner, record bool, inj *inject.Injector) *Router {
 	n := cfg.Params.N
 	r := &Router{
 		n:          n,
@@ -187,6 +214,19 @@ func NewRouter(cfg *Config, isBad []bool, stats *Stats, intern *msg.Interner, re
 			r.groups[id-1] = append(r.groups[id-1], int32(slot))
 		}
 	}
+	r.inj = inj
+	if inj != nil {
+		r.downNow = make([]bool, n)
+		sched := inj.Schedule()
+		r.replays = sched.Replays
+		r.retained = make([][]msg.Payload, len(r.replays))
+		r.hasReplays = len(r.replays) > 0
+	}
+	if cfg.Invariants {
+		r.verify = true
+		r.issued = make([]int8, n)
+		r.viewsIssued = make([]int32, n)
+	}
 	if r.adv != nil {
 		if bd, ok := r.adv.(BatchDropper); ok {
 			r.dropper = bd
@@ -205,6 +245,17 @@ func (r *Router) BeginRound(round int) {
 		r.params.Synchrony == hom.PartiallySynchronous && round < r.gst
 	r.perMsg = r.mode == DeliverPerMessage
 	r.share = !r.perMsg && r.reception == ReceiveGroupShared
+	r.injRound = r.inj.Active(round)
+	r.anyDown = r.injRound && r.inj.AnyDown(round)
+	if r.inj != nil {
+		for to := 0; to < r.n; to++ {
+			r.downNow[to] = r.anyDown && r.inj.Down(to, round)
+		}
+	}
+	if r.verify {
+		clear(r.issued)
+		clear(r.viewsIssued)
+	}
 	r.arena.Reset()
 	r.sendFrom = r.sendFrom[:0]
 	r.sendKeyLen = r.sendKeyLen[:0]
@@ -239,12 +290,28 @@ func (r *Router) stamp(from int, body msg.Payload) int32 {
 	}
 	r.sendFrom = append(r.sendFrom, int32(from))
 	r.sendKeyLen = append(r.sendKeyLen, int32(keyLen))
+	r.totalStamped++
 	return si
 }
 
+// TotalStamped returns the cumulative number of sends stamped across the
+// execution — the engines' message-budget gauge (Config.MaxSends).
+func (r *Router) TotalStamped() int { return r.totalStamped }
+
 // route records one (send, recipient) pair: immediately delivered in
-// per-message mode, bucketed for Flush in batched mode.
+// per-message mode, bucketed for Flush in batched mode. When a replay
+// fault needs this round's (from, to) traffic, the body is retained at
+// routing time — before any mask, like a network capturing a message in
+// flight — identically in both modes.
 func (r *Router) route(from, to int, si int32) {
+	if r.hasReplays && r.injRound && r.inj.NeedRetain(from, r.round) {
+		for i := range r.replays {
+			rp := &r.replays[i]
+			if rp.FromSlot == from && rp.SourceRound == r.round && rp.ToSlot == to {
+				r.retained[i] = append(r.retained[i], r.arena.Body(si))
+			}
+		}
+	}
 	if r.perMsg {
 		r.deliverNow(from, to, si)
 		return
@@ -262,6 +329,26 @@ func (r *Router) deliverNow(from, to int, si int32) {
 	if from != to && r.dropsOK && r.adv.Drop(r.round, from, to) {
 		r.stats.MessagesDropped++
 		return
+	}
+	if r.injRound {
+		if r.inj.Suppress(r.round, from, to) {
+			r.stats.FaultOmissions++
+			return
+		}
+		if r.inj.Dup(r.round, from, to) {
+			if !r.isBad[to] {
+				r.rawIdx[to] = append(r.rawIdx[to], si, si)
+			}
+			r.stats.MessagesDelivered += 2
+			r.stats.PayloadBytes += 2 * int(r.sendKeyLen[si])
+			if r.record {
+				d := msg.Delivered{
+					Round: r.round, FromSlot: from, ToSlot: to, Msg: r.arena.Message(si),
+				}
+				r.deliveries = append(r.deliveries, d, d)
+			}
+			return
+		}
 	}
 	if !r.isBad[to] {
 		r.rawIdx[to] = append(r.rawIdx[to], si)
@@ -329,7 +416,7 @@ func (r *Router) RouteByzantine(from int, sends []msg.TargetedSend) {
 // shared class can apply its representative's deltas once per member
 // without recomputing the batch.
 type batchStats struct {
-	sent, delivered, dropped, payload int
+	sent, delivered, dropped, omitted, payload int
 }
 
 // applyStats folds one batch's deltas into the execution statistics.
@@ -337,6 +424,7 @@ func (r *Router) applyStats(bs *batchStats) {
 	r.stats.MessagesSent += bs.sent
 	r.stats.MessagesDelivered += bs.delivered
 	r.stats.MessagesDropped += bs.dropped
+	r.stats.FaultOmissions += bs.omitted
 	r.stats.PayloadBytes += bs.payload
 }
 
@@ -383,18 +471,40 @@ func (r *Router) maskBatch(to int, cand, dst []int32, bs *batchStats) []int32 {
 				bs.dropped++
 				continue
 			}
-			dst = append(dst, si)
-			bs.delivered++
-			bs.payload += int(r.sendKeyLen[si])
+			dst = r.deliverMasked(to, si, dst, bs)
 		}
 		return dst
 	}
 
 	for _, si := range vis {
-		dst = append(dst, si)
-		bs.delivered++
-		bs.payload += int(r.sendKeyLen[si])
+		dst = r.deliverMasked(to, si, dst, bs)
 	}
+	return dst
+}
+
+// deliverMasked commits one mask-surviving (send, recipient) pair into
+// the delivery index, applying the fault injector (crash/omission
+// suppression, duplication) on fault rounds. Every injector query is a
+// pure function of (round, from, to), so probing a recipient twice —
+// which the group classifier and the invariant checker both do — yields
+// the same batch.
+func (r *Router) deliverMasked(to int, si int32, dst []int32, bs *batchStats) []int32 {
+	if r.injRound {
+		from := int(r.sendFrom[si])
+		if r.inj.Suppress(r.round, from, to) {
+			bs.omitted++
+			return dst
+		}
+		if r.inj.Dup(r.round, from, to) {
+			dst = append(dst, si, si)
+			bs.delivered += 2
+			bs.payload += 2 * int(r.sendKeyLen[si])
+			return dst
+		}
+	}
+	dst = append(dst, si)
+	bs.delivered++
+	bs.payload += int(r.sendKeyLen[si])
 	return dst
 }
 
@@ -431,6 +541,9 @@ func (r *Router) flushOwn(to int) {
 // the masks diverge. Per-message mode already delivered inline, so Flush
 // only has work in batched mode.
 func (r *Router) Flush() {
+	if r.hasReplays && r.injRound {
+		r.injectReplays()
+	}
 	if r.perMsg {
 		return
 	}
@@ -444,8 +557,10 @@ func (r *Router) Flush() {
 	}
 
 	// trivialMask: no mask can change a batch this round, so members
-	// with equal candidate batches are guaranteed equal deliveries.
-	trivialMask := r.visibility == nil && !r.dropsOK
+	// with equal candidate batches are guaranteed equal deliveries. A
+	// fault round never qualifies: the injector's omission/duplication
+	// verdicts are per-recipient, so members must be probed individually.
+	trivialMask := r.visibility == nil && !r.dropsOK && !r.injRound
 
 	for gi := range r.groups {
 		members := r.groups[gi]
@@ -516,6 +631,24 @@ func (r *Router) Flush() {
 	r.buildRecord()
 }
 
+// injectReplays stamps the retained bodies of every replay fault firing
+// this round and routes them to their target — after the round's real
+// sends, so replayed copies always sort behind fresh traffic in both
+// delivery modes (per-message delivers them inline here; batched mode
+// stamps them last, and buildRecord emits in stamp order). The target is
+// marked dirty like a Byzantine-targeted recipient so the reception
+// classifier never assumes its batch matches its group's.
+func (r *Router) injectReplays() {
+	for _, i := range r.inj.ReplaysInto(r.round) {
+		rp := &r.replays[i]
+		for _, body := range r.retained[i] {
+			si := r.stamp(rp.FromSlot, body)
+			r.dirty[rp.ToSlot] = true
+			r.route(rp.FromSlot, rp.ToSlot, si)
+		}
+	}
+}
+
 // resetRecord sizes and zeroes the delivery bitmap for the round's
 // stamped sends (no-op unless recording).
 func (r *Router) resetRecord() {
@@ -568,6 +701,12 @@ func (r *Router) buildRecord() {
 				}
 				m.ToSlot = to
 				r.deliveries = append(r.deliveries, m)
+				// Duplicated deliveries set one bitmap bit but appear
+				// twice in the reference record; Dup is pure, so asking
+				// again here reproduces the per-message path's doubling.
+				if r.injRound && r.inj.Dup(r.round, m.FromSlot, to) {
+					r.deliveries = append(r.deliveries, m)
+				}
 			}
 		}
 	}
@@ -584,12 +723,18 @@ func (r *Router) Arena() *msg.SendArena { return &r.arena }
 // shared core's reference count is the class size) and Recycle each one
 // before the next BeginRound.
 func (r *Router) Inbox(to int) *msg.Inbox {
+	if r.verify {
+		r.issued[to]++
+	}
 	if r.share {
 		if rep := r.shareRep[to]; rep >= 0 {
 			gi := r.classGI[rep]
 			if gi == nil {
 				gi = msg.NewPooledGroupInbox(r.params.Numerate, &r.arena, r.rawIdx[rep], int(r.classSize[rep]))
 				r.classGI[rep] = gi
+			}
+			if r.verify {
+				r.viewsIssued[rep]++
 			}
 			return msg.NewPooledInboxView(gi)
 		}
@@ -612,3 +757,96 @@ func (r *Router) SharedWith(to int) int {
 // router was built with record set). Engine-owned scratch: observers must
 // copy what they keep.
 func (r *Router) Deliveries() []msg.Delivered { return r.deliveries }
+
+// InvariantError reports a failed paranoid-mode router invariant
+// (Config.Invariants). It surfaces from Run like any engine error,
+// carrying the round and the name of the check that failed.
+type InvariantError struct {
+	Round  int
+	Check  string
+	Detail string
+}
+
+// Error implements error.
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("router invariant %q violated at round %d: %s", e.Check, e.Round, e.Detail)
+}
+
+// VerifyRound validates the router's per-round invariants after the
+// engine has consumed the round (paranoid mode, Config.Invariants):
+//
+//   - arena-bounds: every delivered index points into the round's arena;
+//   - inbox-issued: every correct slot took exactly one inbox this round
+//     and no bad slot took any (the GroupInbox refcount contract depends
+//     on this);
+//   - class-refcount: every shared class issued exactly classSize views,
+//     so the shared core's reference count drains to zero on recycle;
+//   - class-equality: for one shared class, a non-representative member's
+//     batch is re-masked from scratch and compared byte for byte against
+//     the representative's — the spot check that catches a classifier
+//     that shared batches which were never actually equal.
+//
+// Returns nil when r.verify is off or everything holds; otherwise the
+// first *InvariantError found.
+func (r *Router) VerifyRound() error {
+	if !r.verify {
+		return nil
+	}
+	arenaLen := int32(r.arena.Len())
+	for to := 0; to < r.n; to++ {
+		for _, si := range r.rawIdx[to] {
+			if si < 0 || si >= arenaLen {
+				return &InvariantError{
+					Round: r.round, Check: "arena-bounds",
+					Detail: fmt.Sprintf("slot %d holds arena index %d outside [0,%d)", to, si, arenaLen),
+				}
+			}
+		}
+	}
+	for to := 0; to < r.n; to++ {
+		want := int8(1)
+		if r.isBad[to] {
+			want = 0
+		}
+		if r.issued[to] != want {
+			return &InvariantError{
+				Round: r.round, Check: "inbox-issued",
+				Detail: fmt.Sprintf("slot %d (bad=%v) took %d inboxes, want %d",
+					to, r.isBad[to], r.issued[to], want),
+			}
+		}
+	}
+	if !r.share {
+		return nil
+	}
+	for rep := 0; rep < r.n; rep++ {
+		if cs := r.classSize[rep]; cs > 1 && r.viewsIssued[rep] != cs {
+			return &InvariantError{
+				Round: r.round, Check: "class-refcount",
+				Detail: fmt.Sprintf("class rep %d issued %d shared views, want %d",
+					rep, r.viewsIssued[rep], cs),
+			}
+		}
+	}
+	for rep := 0; rep < r.n; rep++ {
+		if r.classSize[rep] <= 1 {
+			continue
+		}
+		for to := 0; to < r.n; to++ {
+			if to == rep || r.shareRep[to] != int32(rep) {
+				continue
+			}
+			var bs batchStats
+			r.verifyScratch = r.maskBatch(to, r.pend[to], r.verifyScratch[:0], &bs)
+			if !slices.Equal(r.verifyScratch, r.rawIdx[rep]) {
+				return &InvariantError{
+					Round: r.round, Check: "class-equality",
+					Detail: fmt.Sprintf("slot %d shares rep %d's inbox but re-masking its batch gives %d entries vs %d",
+						to, rep, len(r.verifyScratch), len(r.rawIdx[rep])),
+				}
+			}
+			return nil // one spot check per round is the cost budget
+		}
+	}
+	return nil
+}

@@ -48,8 +48,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"homonyms/internal/hom"
+	"homonyms/internal/inject"
 	"homonyms/internal/msg"
 )
 
@@ -171,6 +173,35 @@ type Config struct {
 	// ReceivePerRecipient selects the per-recipient reference path. Both
 	// produce byte-identical Results — see ReceptionMode.
 	Reception ReceptionMode
+	// Faults optionally injects benign (non-Byzantine) faults into the
+	// execution: crash-stop and crash-recovery windows for correct
+	// processes, send/receive omission, message duplication and stale
+	// replay at the delivery layer (package inject). Nil means no
+	// injected faults. Schedules compose with the Adversary — faults on
+	// corrupted slots are ignored — and validation errors surface from
+	// Run. Touched correct slots are reported in Result.Faulted and
+	// excluded from Result.CorrectSlots.
+	Faults *inject.Schedule
+	// MaxSends caps the cumulative number of stamped sends across the
+	// execution (which bounds arena growth, since every arena entry is
+	// one stamped send). When the cap is reached the execution stops
+	// after the current round with Result.Stopped = StopMessageBudget.
+	// Zero means unlimited.
+	MaxSends int
+	// Deadline bounds the execution's wall-clock time; when it expires
+	// the execution stops after the current round with Result.Stopped =
+	// StopDeadline. It is a safety net against runaway process or
+	// adversary implementations, and the one knob that is deliberately
+	// NOT deterministic — never set it in parity or digest experiments.
+	// Zero means unlimited.
+	Deadline time.Duration
+	// Invariants enables paranoid mode: after every round the engine
+	// validates the router's internal invariants (arena index bounds,
+	// inbox issuance, shared-class refcounts and an equivalence-class
+	// byte-equality spot check) and aborts the execution with an
+	// *InvariantError on the first violation. Cheap enough for fuzz
+	// campaigns; off by default.
+	Invariants bool
 }
 
 // Releaser is an optional Process extension: after an execution finishes,
@@ -212,7 +243,22 @@ type Stats struct {
 	// RestrictedViolations counts messages a restricted Byzantine slot
 	// attempted beyond its one-per-recipient budget (discarded).
 	RestrictedViolations int
+	// FaultOmissions counts deliveries suppressed by the fault injector
+	// (messages to crashed recipients and omission-fault losses).
+	FaultOmissions int
 }
+
+// StopReason explains why an execution budget ended a run early; empty
+// when the execution ran to decision (plus ExtraRounds) or MaxRounds.
+type StopReason string
+
+const (
+	// StopMessageBudget: Config.MaxSends was reached.
+	StopMessageBudget StopReason = "message-budget"
+	// StopDeadline: Config.Deadline expired. Wall-clock, so inherently
+	// non-deterministic — see Config.Deadline.
+	StopDeadline StopReason = "deadline"
+)
 
 // Result reports one execution.
 type Result struct {
@@ -221,6 +267,14 @@ type Result struct {
 	Inputs     []hom.Value
 	// Corrupted lists the Byzantine slots, sorted.
 	Corrupted []int
+	// Faulted lists the correct (non-corrupted) slots touched by the
+	// injected fault schedule — crashed, omission-faulty, or the sender
+	// side of a duplication/replay link fault — sorted. Like corrupted
+	// slots they are exempt from the agreement properties: CorrectSlots
+	// excludes them, which is the standard treatment of faulty processes
+	// in the crash/omission model (and conservative for the link-fault
+	// senders, which merely keeps checkers sound).
+	Faulted []int
 	// Decisions holds each slot's decision (hom.NoValue when undecided or
 	// corrupted).
 	Decisions []hom.Value
@@ -233,9 +287,13 @@ type Result struct {
 	// (Config.GST clamped to at least 1), so post-hoc property checkers
 	// can compute stabilised superrounds without a side channel.
 	GST int
-	// AllDecided reports whether every correct slot decided.
+	// AllDecided reports whether every correct slot (including faulted
+	// ones) decided; a crash-stopped slot never decides, so faulted
+	// executions typically run to MaxRounds with AllDecided false.
 	AllDecided bool
-	Stats      Stats
+	// Stopped is non-empty when an execution budget ended the run early.
+	Stopped StopReason
+	Stats   Stats
 	// Traffic holds every delivery when Config.RecordTraffic was set.
 	Traffic []msg.Delivered
 }
@@ -246,11 +304,19 @@ func (r *Result) IsCorrupted(slot int) bool {
 	return i < len(r.Corrupted) && r.Corrupted[i] == slot
 }
 
-// CorrectSlots returns the sorted non-corrupted slots.
+// IsFaulted reports whether the slot was touched by the injected fault
+// schedule in this execution.
+func (r *Result) IsFaulted(slot int) bool {
+	i := sort.SearchInts(r.Faulted, slot)
+	return i < len(r.Faulted) && r.Faulted[i] == slot
+}
+
+// CorrectSlots returns the sorted slots that were neither corrupted nor
+// faulted — the processes the agreement properties quantify over.
 func (r *Result) CorrectSlots() []int {
 	out := make([]int, 0, len(r.Decisions)-len(r.Corrupted))
 	for s := range r.Decisions {
-		if !r.IsCorrupted(s) {
+		if !r.IsCorrupted(s) && !r.IsFaulted(s) {
 			out = append(out, s)
 		}
 	}
@@ -306,6 +372,7 @@ type engine struct {
 	router       *Router              // stamping, batching, delivery, stats
 	intern       *msg.Interner        // per-execution key symbolization table
 	ownIntern    bool                 // the engine pooled it and must recycle it
+	inj          *inject.Injector     // compiled fault schedule, nil when fault-free
 }
 
 func newEngine(cfg Config) (*engine, error) {
@@ -354,6 +421,11 @@ func newEngine(cfg Config) (*engine, error) {
 	if gst < 1 {
 		gst = 1
 	}
+	inj, err := inject.Compile(cfg.Faults, n)
+	if err != nil {
+		return nil, err
+	}
+	e.inj = inj
 	e.res = &Result{
 		Params:     cfg.Params,
 		GST:        gst,
@@ -362,6 +434,13 @@ func newEngine(cfg Config) (*engine, error) {
 		Corrupted:  e.corrupted,
 		Decisions:  e.decisions,
 		DecidedAt:  e.decidedAt,
+	}
+	// Faults scheduled against corrupted slots are moot (the adversary
+	// already controls them); only correct culprits are reported.
+	for _, s := range inj.Culprits() {
+		if !e.isBad[s] {
+			e.res.Faulted = append(e.res.Faulted, s)
+		}
 	}
 	e.correctSends = make([][]msg.Send, n)
 	e.byzSends = make([][]msg.TargetedSend, n)
@@ -376,15 +455,42 @@ func newEngine(cfg Config) (*engine, error) {
 		e.ownIntern = true
 	}
 	record := cfg.RecordTraffic || e.observer != nil
-	e.router = NewRouter(&e.cfg, e.isBad, &e.res.Stats, e.intern, record)
+	e.router = NewRouter(&e.cfg, e.isBad, &e.res.Stats, e.intern, record, e.inj)
 	return e, nil
 }
 
 func (e *engine) run() (*Result, error) {
+	// Release processes and recycle the pooled interner on every exit
+	// path, including an invariant abort mid-execution.
+	defer func() {
+		for _, p := range e.procs {
+			if r, ok := p.(Releaser); ok {
+				r.Release()
+			}
+		}
+		if e.ownIntern {
+			e.intern.Recycle()
+			e.intern = nil
+		}
+	}()
+	var deadline time.Time
+	if e.cfg.Deadline > 0 {
+		deadline = time.Now().Add(e.cfg.Deadline)
+	}
 	decidedRemaining := -1 // countdown once everyone decided
 	for round := 1; round <= e.cfg.MaxRounds; round++ {
 		e.res.Rounds = round
-		e.step(round)
+		if err := e.step(round); err != nil {
+			return nil, err
+		}
+		if e.cfg.MaxSends > 0 && e.router.TotalStamped() >= e.cfg.MaxSends {
+			e.res.Stopped = StopMessageBudget
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			e.res.Stopped = StopDeadline
+			break
+		}
 		if e.allCorrectDecided() {
 			if decidedRemaining < 0 {
 				decidedRemaining = e.cfg.ExtraRounds
@@ -396,15 +502,6 @@ func (e *engine) run() (*Result, error) {
 		}
 	}
 	e.res.AllDecided = e.allCorrectDecided()
-	for _, p := range e.procs {
-		if r, ok := p.(Releaser); ok {
-			r.Release()
-		}
-	}
-	if e.ownIntern {
-		e.intern.Recycle()
-		e.intern = nil
-	}
 	return e.res, nil
 }
 
@@ -419,12 +516,15 @@ func (e *engine) allCorrectDecided() bool {
 
 // step executes one round: collect correct sends, ask the adversary for
 // Byzantine sends, deliver, and advance every correct process. All round
-// state lives in engine-owned scratch reused across rounds.
-func (e *engine) step(round int) {
+// state lives in engine-owned scratch reused across rounds. A correct
+// slot inside a crash window takes no step this round — no Prepare, no
+// Receive, no Decision poll — and rejoins with its pre-crash protocol
+// state when (and if) the window ends, per the crash-recovery model.
+func (e *engine) step(round int) error {
 	// Phase 1: correct sends.
 	for s := 0; s < e.n; s++ {
 		e.correctSends[s] = nil
-		if e.isBad[s] {
+		if e.isBad[s] || e.inj.Down(s, round) {
 			continue
 		}
 		e.correctSends[s] = e.procs[s].Prepare(round)
@@ -477,6 +577,14 @@ func (e *engine) step(round int) {
 			continue
 		}
 		in := e.router.Inbox(to)
+		if e.inj.Down(to, round) {
+			// A crashed process takes no step, but its inbox is still
+			// drawn (and discarded — the router suppressed everything
+			// sent to it anyway) so shared-class reference counts drain
+			// exactly as in a fault-free round.
+			in.Recycle()
+			continue
+		}
 		e.procs[to].Receive(round, in)
 		in.Recycle()
 		if e.decidedAt[to] == 0 {
@@ -493,4 +601,8 @@ func (e *engine) step(round int) {
 	if e.observer != nil {
 		e.observer.Observe(round, e.router.Deliveries())
 	}
+	if e.cfg.Invariants {
+		return e.router.VerifyRound()
+	}
+	return nil
 }

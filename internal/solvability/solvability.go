@@ -18,6 +18,7 @@ import (
 	"homonyms/internal/core"
 	"homonyms/internal/exec"
 	"homonyms/internal/hom"
+	"homonyms/internal/inject"
 	"homonyms/internal/psynchom"
 	"homonyms/internal/psyncnum"
 	"homonyms/internal/sim"
@@ -40,6 +41,10 @@ const (
 	// Mismatch: the experiment contradicted Table 1 — this must never
 	// happen and fails the harness.
 	Mismatch
+	// Failed: the cell's evaluation itself broke (an error or a panic
+	// recovered by the worker pool). The cell carries the error text;
+	// every other cell of the matrix is unaffected.
+	Failed
 )
 
 // String implements fmt.Stringer.
@@ -53,6 +58,8 @@ func (o Outcome) String() string {
 		return "covered-by-boundary"
 	case Mismatch:
 		return "MISMATCH"
+	case Failed:
+		return "FAILED"
 	default:
 		return fmt.Sprintf("outcome(%d)", int(o))
 	}
@@ -80,6 +87,13 @@ type Cell struct {
 type SuiteSize struct {
 	Assignments int
 	Behaviors   int
+	// Crashes adds a crash-vs-Byzantine band to each solvable cell: for
+	// every c in 1..min(Crashes, t), one extra run replaces c of the t
+	// Byzantine slots with injected crash-recovery faults. The claim
+	// must keep holding (crashes are Byzantine-simulable), so a
+	// violation in the band is a Mismatch like any other. 0 disables
+	// the band.
+	Crashes int
 }
 
 // DefaultSuite is a balanced suite for grid sweeps.
@@ -162,6 +176,52 @@ func evaluateSolvable(cell *Cell, p hom.Params, suite SuiteSize, seed int64) (*C
 			}
 			cell.MessagesDelivered += res.Sim.Stats.MessagesDelivered
 		}
+	}
+	// Crash-vs-Byzantine band: trade c of the t Byzantine slots for c
+	// injected crash-recovery faults. The combined count stays within t,
+	// so Table 1 still predicts solvable — the band checks that the
+	// implementations really do treat a crash as a cheaper-than-Byzantine
+	// failure, at every exchange rate the suite asks for.
+	for c := 1; c <= suite.Crashes && c <= p.T; c++ {
+		byz := p.T - c
+		inputs := make([]hom.Value, p.N)
+		for j := range inputs {
+			inputs[j] = hom.Value(j % 2)
+		}
+		var adv sim.Adversary
+		if byz > 0 {
+			slots := make(adversary.Slots, byz)
+			for i := range slots {
+				slots[i] = i
+			}
+			adv = &adversary.Composite{
+				Selector: slots,
+				Behavior: adversary.Equivocate{Seed: seed + int64(c)},
+			}
+		}
+		crashes := make([]inject.Crash, c)
+		for i := range crashes {
+			// Crash from the top of the slot range (disjoint from the
+			// Byzantine slots at the bottom), spanning rounds 2..4.
+			crashes[i] = inject.Crash{Slot: p.N - 1 - i, Round: 2, Recover: 3}
+		}
+		res, err := core.Run(core.Config{
+			Params:    p,
+			Inputs:    inputs,
+			Adversary: adv,
+			GST:       gst,
+			Faults:    &inject.Schedule{Crashes: crashes},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cell %v (crash band c=%d): %w", p, c, err)
+		}
+		runs++
+		if !res.Verdict.OK() {
+			cell.Outcome = Mismatch
+			cell.Detail = fmt.Sprintf("crash band failed at %d byz + %d crashed (t=%d): %s", byz, c, p.T, res.Verdict)
+			return cell, nil
+		}
+		cell.MessagesDelivered += res.Sim.Stats.MessagesDelivered
 	}
 	cell.Outcome = Solved
 	cell.Detail = fmt.Sprintf("suite of %d adversarial runs all satisfied the specification", runs)
@@ -357,6 +417,9 @@ func CellCost(p hom.Params, suite SuiteSize) int64 {
 		if runs < 1 {
 			runs = 1
 		}
+		if band := min(suite.Crashes, p.T); band > 0 {
+			runs += int64(band)
+		}
 		return nn * rounds * runs
 	case p.N <= 3*p.T:
 		return 1 // covered by the classical bound, no execution
@@ -376,18 +439,34 @@ func CellCost(p hom.Params, suite SuiteSize) int64 {
 // pool drained by cheap boundary cells); the result order (and every
 // cell's content) is identical to a sequential evaluation.
 func Matrix(ns, ts []int, v Variant, suite SuiteSize, seed int64) ([]*Cell, error) {
-	return exec.MapWeighted(GridParams(ns, ts, v), exec.Workers(),
+	params := GridParams(ns, ts, v)
+	cells, errs := exec.MapWeightedCollect(params, exec.Workers(),
 		func(_ int, p hom.Params) int64 { return CellCost(p, suite) },
 		func(_ int, p hom.Params) (*Cell, error) {
 			return EvaluateCell(p, suite, seed)
 		})
+	// A cell whose evaluation errored or panicked (recovered into an
+	// exec.PanicError by the pool) degrades to a Failed cell instead of
+	// poisoning the matrix: every other cell is byte-identical to a
+	// failure-free evaluation.
+	for i, err := range errs {
+		if err != nil {
+			cells[i] = &Cell{
+				Params:  params[i],
+				Expect:  params[i].Solvable(),
+				Outcome: Failed,
+				Detail:  err.Error(),
+			}
+		}
+	}
+	return cells, nil
 }
 
 // Consistent reports whether every cell's empirical outcome matches its
-// Table-1 prediction (no Mismatch entries).
+// Table-1 prediction (no Mismatch or Failed entries).
 func Consistent(cells []*Cell) (bool, *Cell) {
 	for _, c := range cells {
-		if c.Outcome == Mismatch {
+		if c.Outcome == Mismatch || c.Outcome == Failed {
 			return false, c
 		}
 	}
