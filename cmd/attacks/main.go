@@ -33,8 +33,12 @@ import (
 )
 
 // demo is one named lower-bound demonstration writing its narration to w.
+// cost is a relative work estimate (rounds × n² of the executions the demo
+// drives) used for cost-weighted dispatch, so the heavy demonstrations
+// start first instead of queueing behind cheap ones.
 type demo struct {
 	name string
+	cost int64
 	fn   func(w io.Writer) error
 }
 
@@ -51,11 +55,11 @@ func run() error {
 	flag.Parse()
 
 	all := []demo{
-		{"figure4", figure4},
-		{"figure1", figure1},
-		{"clones", clones},
-		{"mirror", mirror},
-		{"ablations", ablations},
+		{"figure4", 36 * 25, figure4},      // 12 phases × 3 rounds, n=5
+		{"figure1", 24 * 16, figure1},      // ~24 rounds of the covering system, n=4
+		{"clones", 42 * 49, clones},        // 3×Rounds(EIG-4) ≈ 42 rounds, n=7
+		{"mirror", 36 * 64, mirror},        // 12 phases × 3 rounds, n=8, run twice
+		{"ablations", 162 * 36, ablations}, // four runs up to 3·(3l+6) phases at l=6
 	}
 	demos := all[:0:0]
 	for _, d := range all {
@@ -67,19 +71,22 @@ func run() error {
 		return fmt.Errorf("unknown demonstration %q", *only)
 	}
 	// The demonstrations are independent deterministic executions: run them
-	// across the worker pool, buffer each one's narration, and print in the
-	// fixed order above. Failures travel inside the result so a failing
-	// demo's partial narration — and every other demo's output — still
-	// prints before the error is reported.
+	// across the worker pool with cost-weighted dispatch (heaviest first),
+	// buffer each one's narration, and print in the fixed order above.
+	// Failures travel inside the result so a failing demo's partial
+	// narration — and every other demo's output — still prints before the
+	// error is reported.
 	type demoResult struct {
 		out string
 		err error
 	}
-	results, _ := exec.Map(demos, *workers, func(_ int, d demo) (demoResult, error) {
-		var buf bytes.Buffer
-		err := d.fn(&buf)
-		return demoResult{out: buf.String(), err: err}, nil
-	})
+	results, _ := exec.MapWeighted(demos, *workers,
+		func(_ int, d demo) int64 { return d.cost },
+		func(_ int, d demo) (demoResult, error) {
+			var buf bytes.Buffer
+			err := d.fn(&buf)
+			return demoResult{out: buf.String(), err: err}, nil
+		})
 	var firstErr error
 	for i, r := range results {
 		fmt.Printf("\n=== %s ===\n%s", demos[i].name, r.out)

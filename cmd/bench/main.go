@@ -45,16 +45,16 @@ import (
 
 	"homonyms/internal/authbcast"
 	"homonyms/internal/classical"
+	"homonyms/internal/engine"
 	"homonyms/internal/exec"
 	"homonyms/internal/hom"
 	"homonyms/internal/msg"
 	"homonyms/internal/numbcast"
-	"homonyms/internal/sim"
 	"homonyms/internal/solvability"
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR5.json", "output file")
+	out := flag.String("out", "BENCH_PR7.json", "output file")
 	compare := flag.String("compare", "", "baseline JSON file, directory or glob to gate against instead of writing a record")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed relative regression in -compare mode")
 	flag.Parse()
@@ -312,7 +312,7 @@ func run(out string) error {
 // collect measures the full benchmark suite in-process.
 func collect() (*record, error) {
 	rec := record{
-		Record:     "BENCH_PR5",
+		Record:     "BENCH_PR7",
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchmarks: map[string]metric{},
@@ -324,6 +324,7 @@ func collect() (*record, error) {
 			"engine_batched_* vs engine_permessage_* compare the PR-4 per-recipient batch routing (the default) against the per-message reference path on the same workload; engine_broadcast_50r_n16 keeps its name and measures the default configuration",
 			"protocol_table_* measure the arena-backed broadcast tables (PR 3); the matrix pair records workers/gomaxprocs so single-core runs are not misread as scheduler regressions",
 			"inbox_group_* and engine_*_fill_n64l4 are the PR-5 group-shared reception paths: an identifier-symmetric post-GST all-to-all round at n=64, l=4 fills one shared msg.GroupInbox per identifier group (l fills) instead of one SoA inbox per process (n fills); engine_groupshared_vs_perrecipient_x is the fill-path ratio on that cell",
+			"PR 7 unifies the sequential and concurrent engines into internal/engine (sim.Run/runtime.Run are thin adapters); engine_* benchmarks now drive the round-core through the options API, with the same names and workloads",
 		},
 	}
 
@@ -439,8 +440,8 @@ func collect() (*record, error) {
 			}
 		}
 	})
-	rec.Benchmarks["engine_groupshared_fill_n64l4"] = measureRouterFill(sim.ReceiveGroupShared)
-	rec.Benchmarks["engine_perrecipient_fill_n64l4"] = measureRouterFill(sim.ReceivePerRecipient)
+	rec.Benchmarks["engine_groupshared_fill_n64l4"] = measureRouterFill(engine.ReceiveGroupShared)
+	rec.Benchmarks["engine_perrecipient_fill_n64l4"] = measureRouterFill(engine.ReceivePerRecipient)
 
 	// Count: baseline (key rebuilt per call) vs current (cached key).
 	base := newBaselineInbox(true, raw)
@@ -469,29 +470,29 @@ func collect() (*record, error) {
 	// engine_broadcast_50r_n16 measures the default configuration (batched
 	// since PR 4); the engine_batched_/engine_permessage_ pair pins the
 	// two delivery modes explicitly on the identical workload.
-	engineBench := func(mode sim.DeliveryMode) metric {
+	engineBench := func(mode engine.DeliveryMode) metric {
 		return measure(func(b *testing.B) {
 			p := hom.Params{N: 16, L: 16, T: 0, Synchrony: hom.Synchronous}
 			inputs := make([]hom.Value, 16)
 			for i := 0; i < b.N; i++ {
-				_, err := sim.Run(sim.Config{
-					Params:     p,
-					Assignment: hom.RoundRobinAssignment(16, 16),
-					Inputs:     inputs,
-					NewProcess: func(int) sim.Process { return &flooder{} },
-					MaxRounds:  50,
-					Delivery:   mode,
-				})
+				_, err := engine.Run(
+					engine.WithParams(p),
+					engine.WithAssignment(hom.RoundRobinAssignment(16, 16)),
+					engine.WithInputs(inputs...),
+					engine.WithProcess(func(int) engine.Process { return &flooder{} }),
+					engine.WithRounds(50),
+					engine.WithDelivery(mode),
+				)
 				if err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
-	batched := engineBench(sim.DeliverBatched)
+	batched := engineBench(engine.DeliverBatched)
 	rec.Benchmarks["engine_broadcast_50r_n16"] = batched
 	rec.Benchmarks["engine_batched_50r_n16"] = batched
-	rec.Benchmarks["engine_permessage_50r_n16"] = engineBench(sim.DeliverPerMessage)
+	rec.Benchmarks["engine_permessage_50r_n16"] = engineBench(engine.DeliverPerMessage)
 
 	// Protocol tables (PR 3): the arena-backed broadcast primitives
 	// ingesting a steady stream of echoes — the per-delivery table path
@@ -583,17 +584,17 @@ func (p floodPayload) Key() string                 { return msg.ScratchKey(p) }
 // inbox (forcing the dedup fill and the sort index) and recycle. Under
 // ReceiveGroupShared the round performs l=4 shared fills; under
 // ReceivePerRecipient it performs n=64.
-func measureRouterFill(reception sim.ReceptionMode) metric {
+func measureRouterFill(reception engine.ReceptionMode) metric {
 	const n, l = 64, 4
-	cfg := sim.Config{
+	cfg := engine.Config{
 		Params:     hom.Params{N: n, L: l, T: 0, Synchrony: hom.Synchronous},
 		Assignment: hom.RoundRobinAssignment(n, l),
 		Reception:  reception,
 	}
 	isBad := make([]bool, n)
-	var stats sim.Stats
+	var stats engine.Stats
 	intern := msg.NewInterner()
-	router := sim.NewRouter(&cfg, isBad, &stats, intern, false, nil)
+	router := engine.NewRouter(&cfg, isBad, &stats, intern, false, nil)
 	sends := make([][]msg.Send, n)
 	for s := range sends {
 		sends[s] = []msg.Send{msg.Broadcast(floodPayload{slot: s})}
@@ -718,7 +719,7 @@ func measureEIGTransition() metric {
 // flooder broadcasts a fresh payload every round and never decides.
 type flooder struct{ id hom.Identifier }
 
-func (f *flooder) Init(ctx sim.Context) { f.id = ctx.ID }
+func (f *flooder) Init(ctx engine.Context) { f.id = ctx.ID }
 func (f *flooder) Prepare(round int) []msg.Send {
 	return []msg.Send{msg.Broadcast(msg.Raw(fmt.Sprintf("flood|%d|%d", f.id, round)))}
 }

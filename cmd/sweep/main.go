@@ -2,7 +2,9 @@
 // benchmark harness and prints figure-style series: decision latency and
 // message cost of each algorithm as n, ℓ, t and GST vary. The points of a
 // series are independent executions, so each series fans out across
-// exec.Workers() workers and prints in deterministic order.
+// exec.Workers() workers with cost-weighted scheduling (big-n and
+// late-GST points dispatch first, so they never queue behind a pool
+// drained by cheap points) and prints in deterministic order.
 //
 // Usage:
 //
@@ -77,6 +79,17 @@ func measure(p hom.Params, gst int, seed int64) (latency, messages int, err erro
 	return trace.LatestDecisionRound(res.Sim), res.Sim.Stats.MessagesDelivered, nil
 }
 
+// pointCost estimates the relative cost of measuring one series point,
+// mirroring solvability.CellCost's single-execution shape: per-round
+// delivery work is O(n²) and the round budget grows with ℓ (partially
+// synchronous phase cycles), t (EIG depth) and the GST delay. Only the
+// ordering matters — the scheduler uses costs as dispatch hints, never
+// in results.
+func pointCost(p hom.Params, gst int) int64 {
+	nn := int64(p.N) * int64(p.N)
+	return nn * int64(4*p.L+8*p.T+16+gst)
+}
+
 // point is one measured series entry, carried through the worker pool so
 // rows print in input order regardless of completion order. A failed
 // measurement travels in err so the successfully measured rows of a
@@ -117,10 +130,12 @@ func latencyVsN(seed int64, workers int) error {
 		}
 		params = append(params, p)
 	}
-	points, _ := exec.Map(params, workers, func(_ int, p hom.Params) (point, error) {
-		lat, msgs, err := measure(p, 1, seed)
-		return point{x: p.N, y: p.L, latency: lat, messages: msgs, err: err}, nil
-	})
+	points, _ := exec.MapWeighted(params, workers,
+		func(_ int, p hom.Params) int64 { return pointCost(p, 1) },
+		func(_ int, p hom.Params) (point, error) {
+			lat, msgs, err := measure(p, 1, seed)
+			return point{x: p.N, y: p.L, latency: lat, messages: msgs, err: err}, nil
+		})
 	return printPoints(points, func(pt point) {
 		fmt.Printf("%6d %6d %10d %12d\n", pt.x, pt.y, pt.latency, pt.messages)
 	})
@@ -129,12 +144,16 @@ func latencyVsN(seed int64, workers int) error {
 func messagesVsL(seed int64, workers int) error {
 	fmt.Println("T(EIG) (sync, n=9, t=1): cost vs identifier count l")
 	fmt.Printf("%6s %10s %12s\n", "l", "rounds", "messages")
-	points, _ := exec.MapN(6, workers, func(i int) (point, error) {
-		l := 4 + i
-		p := hom.Params{N: 9, L: l, T: 1, Synchrony: hom.Synchronous}
-		lat, msgs, err := measure(p, 1, seed)
-		return point{x: l, latency: lat, messages: msgs, err: err}, nil
-	})
+	points, _ := exec.MapNWeighted(6, workers,
+		func(i int) int64 {
+			return pointCost(hom.Params{N: 9, L: 4 + i, T: 1, Synchrony: hom.Synchronous}, 1)
+		},
+		func(i int) (point, error) {
+			l := 4 + i
+			p := hom.Params{N: 9, L: l, T: 1, Synchrony: hom.Synchronous}
+			lat, msgs, err := measure(p, 1, seed)
+			return point{x: l, latency: lat, messages: msgs, err: err}, nil
+		})
 	return printPoints(points, func(pt point) {
 		fmt.Printf("%6d %10d %12d\n", pt.x, pt.latency, pt.messages)
 	})
@@ -144,26 +163,30 @@ func latencyVsGST(seed int64, workers int) error {
 	fmt.Println("Figure-5 algorithm (psync, n=6, l=5, t=1): decision latency vs GST")
 	fmt.Printf("%6s %10s\n", "gst", "rounds")
 	gsts := []int{1, 9, 17, 33, 49}
-	points, _ := exec.Map(gsts, workers, func(_ int, gst int) (point, error) {
-		p := hom.Params{N: 6, L: 5, T: 1, Synchrony: hom.PartiallySynchronous}
-		inputs := make([]hom.Value, p.N)
-		for i := range inputs {
-			inputs[i] = hom.Value(i % 2)
-		}
-		adv := &adversary.Composite{
-			Selector: adversary.RandomT{Seed: seed},
-			Behavior: adversary.Silent{},
-			Drops:    adversary.RandomDrops{Seed: seed, Prob: 0.8},
-		}
-		res, err := core.Run(core.Config{Params: p, Inputs: inputs, Adversary: adv, GST: gst})
-		if err != nil {
-			return point{err: err}, nil
-		}
-		if !res.Verdict.OK() {
-			return point{err: fmt.Errorf("gst=%d: %s", gst, res.Verdict)}, nil
-		}
-		return point{x: gst, latency: trace.LatestDecisionRound(res.Sim)}, nil
-	})
+	points, _ := exec.MapWeighted(gsts, workers,
+		func(_ int, gst int) int64 {
+			return pointCost(hom.Params{N: 6, L: 5, T: 1, Synchrony: hom.PartiallySynchronous}, gst)
+		},
+		func(_ int, gst int) (point, error) {
+			p := hom.Params{N: 6, L: 5, T: 1, Synchrony: hom.PartiallySynchronous}
+			inputs := make([]hom.Value, p.N)
+			for i := range inputs {
+				inputs[i] = hom.Value(i % 2)
+			}
+			adv := &adversary.Composite{
+				Selector: adversary.RandomT{Seed: seed},
+				Behavior: adversary.Silent{},
+				Drops:    adversary.RandomDrops{Seed: seed, Prob: 0.8},
+			}
+			res, err := core.Run(core.Config{Params: p, Inputs: inputs, Adversary: adv, GST: gst})
+			if err != nil {
+				return point{err: err}, nil
+			}
+			if !res.Verdict.OK() {
+				return point{err: fmt.Errorf("gst=%d: %s", gst, res.Verdict)}, nil
+			}
+			return point{x: gst, latency: trace.LatestDecisionRound(res.Sim)}, nil
+		})
 	return printPoints(points, func(pt point) {
 		fmt.Printf("%6d %10d\n", pt.x, pt.latency)
 	})

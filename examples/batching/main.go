@@ -17,9 +17,9 @@ import (
 	"reflect"
 
 	"homonyms/internal/adversary"
+	"homonyms/internal/engine"
 	"homonyms/internal/hom"
 	"homonyms/internal/psynchom"
-	"homonyms/internal/sim"
 )
 
 func main() {
@@ -34,26 +34,27 @@ func main() {
 	}
 	fmt.Println("model:", params)
 
-	// A fresh config per run: the adversary pieces are deterministic in
-	// their seeds, so both runs face the very same Byzantine behaviour
-	// and the very same pre-GST drop pattern.
-	build := func(mode sim.DeliveryMode) sim.Config {
-		return sim.Config{
-			Params:     params,
-			Assignment: hom.RoundRobinAssignment(params.N, params.L),
-			Inputs:     []hom.Value{0, 1, 1, 0, 1, 0},
-			NewProcess: psynchom.NewUnchecked(params, psynchom.Options{}),
-			Adversary: &adversary.Composite{
+	// Fresh options per run, assembled through the engine's functional
+	// options API: the adversary pieces are deterministic in their seeds,
+	// so both runs face the very same Byzantine behaviour and the very
+	// same pre-GST drop pattern.
+	build := func(mode engine.DeliveryMode) []engine.Option {
+		return []engine.Option{
+			engine.WithParams(params),
+			engine.WithAssignment(hom.RoundRobinAssignment(params.N, params.L)),
+			engine.WithInputs(0, 1, 1, 0, 1, 0),
+			engine.WithProcess(psynchom.NewUnchecked(params, psynchom.Options{})),
+			engine.WithAdversary(&adversary.Composite{
 				Selector: adversary.Slots{3},
 				Behavior: adversary.Equivocate{Seed: 7},
 				// RandomDrops implements adversary.BatchDropPolicy: under
 				// batched delivery the engine asks for one drop mask per
 				// recipient per round instead of one Drop call per message.
 				Drops: adversary.RandomDrops{Seed: 7, Prob: 0.4},
-			},
-			GST:       13,
-			MaxRounds: psynchom.SuggestedMaxRounds(params, 13),
-			// Delivery is the only difference between the two runs.
+			}),
+			engine.WithGST(13),
+			engine.WithRounds(psynchom.SuggestedMaxRounds(params, 13)),
+			// WithDelivery is the only difference between the two runs.
 			//
 			//   DeliverBatched (the default): each round, every send is
 			//   stamped once into the structure-of-arrays send arena and
@@ -65,12 +66,12 @@ func main() {
 			//   DeliverPerMessage: the reference path — every
 			//   (send, recipient) pair goes through the deliver hook
 			//   individually, exactly like the pre-batching engines.
-			Delivery: mode,
+			engine.WithDelivery(mode),
 		}
 	}
 
-	run := func(name string, mode sim.DeliveryMode) *sim.Result {
-		res, err := sim.Run(build(mode))
+	run := func(name string, mode engine.DeliveryMode) *engine.Result {
+		res, err := engine.Run(build(mode)...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -80,8 +81,8 @@ func main() {
 		return res
 	}
 
-	batched := run("batched:", sim.DeliverBatched)
-	perMessage := run("per-message:", sim.DeliverPerMessage)
+	batched := run("batched:", engine.DeliverBatched)
+	perMessage := run("per-message:", engine.DeliverPerMessage)
 
 	// The parity contract, checked live: not just the decisions but the
 	// entire Result — decision rounds, effective GST, every statistic —

@@ -244,7 +244,7 @@ type Equivocate struct {
 
 // Sends implements Behavior.
 func (e Equivocate) Sends(round, slot int, view *sim.View) []msg.TargetedSend {
-	senders := sortedCorrectSenders(view)
+	senders := view.Senders()
 	if len(senders) == 0 {
 		return nil
 	}
@@ -255,7 +255,7 @@ func (e Equivocate) Sends(round, slot int, view *sim.View) []msg.TargetedSend {
 	var out []msg.TargetedSend
 	for to := 0; to < view.Params.N; to++ {
 		src := senders[rng.Intn(len(senders))]
-		for _, s := range view.CorrectSends[src] {
+		for _, s := range view.SendsOf(int(src)) {
 			if s.Kind == msg.ToAll {
 				out = append(out, msg.TargetedSend{ToSlot: to, Body: s.Body})
 				break
@@ -273,11 +273,11 @@ type MimicFlood struct{}
 
 // Sends implements Behavior.
 func (MimicFlood) Sends(round, slot int, view *sim.View) []msg.TargetedSend {
-	senders := sortedCorrectSenders(view)
+	senders := view.Senders()
 	var out []msg.TargetedSend
 	for to := 0; to < view.Params.N; to++ {
 		for _, src := range senders {
-			for _, s := range view.CorrectSends[src] {
+			for _, s := range view.SendsOf(int(src)) {
 				if s.Kind == msg.ToAll {
 					out = append(out, msg.TargetedSend{ToSlot: to, Body: s.Body})
 				}
@@ -300,7 +300,7 @@ type KeyEquivocate struct {
 
 // Sends implements Behavior.
 func (e KeyEquivocate) Sends(round, slot int, view *sim.View) []msg.TargetedSend {
-	senders := sortedCorrectSenders(view)
+	senders := view.Senders()
 	if len(senders) == 0 {
 		return nil
 	}
@@ -310,14 +310,14 @@ func (e KeyEquivocate) Sends(round, slot int, view *sim.View) []msg.TargetedSend
 	}
 	// One source per identifier, drawn in identifier order so the stream
 	// consumption is deterministic.
-	srcOf := make(map[hom.Identifier]int, view.Params.L)
-	for id := hom.Identifier(1); int(id) <= view.Params.L; id++ {
+	srcOf := make([]int32, view.Params.L+1)
+	for id := 1; id <= view.Params.L; id++ {
 		srcOf[id] = senders[rng.Intn(len(senders))]
 	}
 	var out []msg.TargetedSend
 	for to := 0; to < view.Params.N; to++ {
 		src := srcOf[view.Assignment[to]]
-		for _, s := range view.CorrectSends[src] {
+		for _, s := range view.SendsOf(int(src)) {
 			if s.Kind == msg.ToAll {
 				out = append(out, msg.TargetedSend{ToSlot: to, Body: s.Body})
 				break
@@ -503,15 +503,6 @@ func (p PartitionDrops) DropBatch(_, toSlot int, fromSlots []int32, drop []bool)
 // ---------------------------------------------------------------------------
 // helpers
 // ---------------------------------------------------------------------------
-
-func sortedCorrectSenders(view *sim.View) []int {
-	out := make([]int, 0, len(view.CorrectSends))
-	for s := range view.CorrectSends {
-		out = append(out, s)
-	}
-	sort.Ints(out)
-	return out
-}
 
 const tokenAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"homonyms/internal/adversary"
+	"homonyms/internal/engine"
 	"homonyms/internal/hom"
 	"homonyms/internal/msg"
 	"homonyms/internal/sim"
@@ -14,12 +15,11 @@ func params(n, l, t int) hom.Params {
 }
 
 func view(n int, sends map[int][]msg.Send) *sim.View {
-	return &sim.View{
-		Params:       params(n, n, 1),
-		Assignment:   hom.RoundRobinAssignment(n, n),
-		Round:        1,
-		CorrectSends: sends,
+	bySlot := make([][]msg.Send, n)
+	for s, snds := range sends {
+		bySlot[s] = snds
 	}
+	return engine.NewView(params(n, n, 1), hom.RoundRobinAssignment(n, n), nil, 1, bySlot, nil)
 }
 
 func TestSelectors(t *testing.T) {
@@ -185,16 +185,11 @@ func TestRandomDropsDeterministic(t *testing.T) {
 func TestKeyEquivocateGroupConsistency(t *testing.T) {
 	// n=6, l=3 round-robin: groups {0,3}, {1,4}, {2,5}. Slot 5 is the
 	// equivocator; the others broadcast distinguishable bodies.
-	sends := map[int][]msg.Send{}
+	sends := make([][]msg.Send, 6)
 	for s := 0; s < 5; s++ {
 		sends[s] = []msg.Send{msg.Broadcast(msg.Raw("m" + string(rune('a'+s))))}
 	}
-	v := &sim.View{
-		Params:       params(6, 3, 1),
-		Assignment:   hom.RoundRobinAssignment(6, 3),
-		Round:        1,
-		CorrectSends: sends,
-	}
+	v := engine.NewView(params(6, 3, 1), hom.RoundRobinAssignment(6, 3), nil, 1, sends, []int{5})
 	out := adversary.KeyEquivocate{Rand: adversary.NewRand(3)}.Sends(1, 5, v)
 	if len(out) != 6 {
 		t.Fatalf("KeyEquivocate sent %d messages, want one per recipient", len(out))

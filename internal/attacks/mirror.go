@@ -198,8 +198,8 @@ func (a *mirrorAdversary) Sends(round, slot int, view *sim.View) []msg.TargetedS
 	// round: every correct broadcast that reaches the twin, plus its own
 	// sends (self-delivery).
 	a.pendingIn = a.pendingIn[:0]
-	for from, sendsOf := range view.CorrectSends {
-		for _, snd := range sendsOf {
+	for _, from := range view.Senders() {
+		for _, snd := range view.SendsOf(int(from)) {
 			if snd.Kind == msg.ToIdentifier && snd.To != a.twinID {
 				continue
 			}

@@ -51,7 +51,7 @@ type InitPayload struct {
 // BuildKey implements msg.ScratchKeyer (the engines' scratch-interned
 // send path; the embedded body key stays whatever the inner payload
 // provides).
-func (p InitPayload) BuildKey(kb *msg.KeyBuilder) { kb.Reset("abinit").Str(p.Body.Key()) }
+func (p InitPayload) BuildKey(kb *msg.KeyBuilder) { kb.Reset("abinit").Nested(p.Body) }
 
 // Key implements msg.Payload.
 func (p InitPayload) Key() string { return msg.ScratchKey(p) }
@@ -66,7 +66,7 @@ type EchoPayload struct {
 
 // BuildKey implements msg.ScratchKeyer.
 func (p EchoPayload) BuildKey(kb *msg.KeyBuilder) {
-	kb.Reset("abecho").Int(p.SR).Identifier(p.ID).Str(p.Body.Key())
+	kb.Reset("abecho").Int(p.SR).Identifier(p.ID).Nested(p.Body)
 }
 
 // Key implements msg.Payload.
@@ -238,7 +238,7 @@ func (b *Broadcaster) Ingest(round int, in *msg.Inbox) []Accept {
 // because this interner sees only tuple keys, the dense KeyID minus one
 // is exactly the arena index.
 func (b *Broadcaster) tuple(body msg.Payload, sr int, id hom.Identifier) int {
-	kid := b.tab.kb.Reset("abecho").Int(sr).Identifier(id).Str(body.Key()).Intern(b.tab.keys)
+	kid := b.tab.kb.Reset("abecho").Int(sr).Identifier(id).Nested(body).Intern(b.tab.keys)
 	idx := int(kid) - 1
 	if idx < len(b.tab.tuples) {
 		return idx

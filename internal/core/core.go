@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"homonyms/internal/classical"
+	"homonyms/internal/engine"
 	"homonyms/internal/hom"
 	"homonyms/internal/inject"
 	"homonyms/internal/psynchom"
@@ -154,7 +155,8 @@ type Result struct {
 	Decided bool
 }
 
-// Run selects the algorithm for cfg.Params and executes one instance.
+// Run selects the algorithm for cfg.Params and executes one instance
+// through the unified round-core (engine.Run with functional options).
 func Run(cfg Config) (*Result, error) {
 	sel, err := Select(cfg.Params)
 	if err != nil {
@@ -172,17 +174,24 @@ func Run(cfg Config) (*Result, error) {
 	if assignment == nil {
 		assignment = hom.RoundRobinAssignment(cfg.Params.N, cfg.Params.L)
 	}
-	res, err := sim.Run(sim.Config{
-		Params:     cfg.Params,
-		Assignment: assignment,
-		Inputs:     cfg.Inputs,
-		NewProcess: sel.NewProcess,
-		Adversary:  cfg.Adversary,
-		GST:        gst,
-		MaxRounds:  maxRounds,
-		Faults:     cfg.Faults,
-		Invariants: cfg.Invariants,
-	})
+	opts := []engine.Option{
+		engine.WithParams(cfg.Params),
+		engine.WithAssignment(assignment),
+		engine.WithInputs(cfg.Inputs...),
+		engine.WithProcess(sel.NewProcess),
+		engine.WithGST(gst),
+		engine.WithRounds(maxRounds),
+	}
+	if cfg.Adversary != nil {
+		opts = append(opts, engine.WithAdversary(cfg.Adversary))
+	}
+	if cfg.Faults != nil {
+		opts = append(opts, engine.WithFaults(cfg.Faults))
+	}
+	if cfg.Invariants {
+		opts = append(opts, engine.WithInvariants())
+	}
+	res, err := engine.Run(opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,691 @@
+// Package engine is the unified round-core for the homonym model of
+// Delporte-Gallet et al. (PODC 2011): one execution kernel behind the
+// sequential façade (package sim) and the concurrent one (package
+// runtime), which are now thin adapters over this package.
+//
+// The kernel realises exactly the paper's two timing models:
+//
+//   - Synchronous: in each round every process sends to (subsets of) the
+//     other processes and then receives everything sent to it that round.
+//   - Partially synchronous (the "basic" model of Dwork, Lynch and
+//     Stockmeyer): rounds as above, but an adversary may suppress message
+//     deliveries in any round before a global stabilisation round (GST).
+//     From GST on, every message is delivered, which realises "only a
+//     finite number of messages are dropped".
+//
+// Correct processes are deterministic state machines behind the Process
+// interface. They are addressed only by their authenticated identifier;
+// several processes may share an identifier (homonyms) and a receiver can
+// never tell which group member sent a message. Byzantine processes are
+// played by an Adversary, which is omniscient (it sees parameters,
+// assignment, inputs, and all traffic, including the current round's
+// correct sends — a rushing adversary) but can never forge an identifier:
+// the engine stamps every delivery with the true identifier of the sending
+// slot.
+//
+// Two model switches from the paper are enforced by the engine itself:
+//
+//   - Numerate vs innumerate reception: inboxes carry multiset or set
+//     semantics (msg.Inbox).
+//   - Restricted Byzantine processes: at most one message per recipient
+//     per round from each Byzantine slot; excess messages are discarded
+//     and counted, so lower-bound experiments in the restricted model are
+//     honest.
+//
+// An execution is assembled with New(opts ...Option) — functional options
+// over a validated configuration — and executed once with (*Engine).Run.
+// Two seams parameterize the kernel beyond the routing strategy:
+//
+//   - TimeModel owns the outer execution loop. Lockstep (the paper's
+//     round-by-round model) is the only implementation today; the seam is
+//     where eventually-synchronous round skew and event-driven scheduling
+//     plug in without forking the kernel.
+//   - StateRep owns how correct-process state is held and stepped.
+//     Concrete (one state machine per slot, stepped in place) and
+//     ConcurrentConcrete (one goroutine per slot, the former package
+//     runtime machinery) exist today; a counting/abstract representation
+//     plugs in here.
+//
+// Round delivery runs through the Router, shared by every state
+// representation: sends are stamped once into a structure-of-arrays
+// arena and, by default, delivered as per-recipient batches with the
+// adversary's masks applied over each whole batch (DeliverBatched);
+// Config.Delivery selects the per-message reference path, which is
+// byte-identical by test. On the reception side the Router classifies,
+// by default, each identifier group's correct members into equivalence
+// classes of byte-identical batches and fills one shared inbox core per
+// class (ReceiveGroupShared — the fill cost of identifier-symmetric
+// rounds scales with l instead of n); Config.Reception selects the
+// per-recipient reference path, which is byte-identical by test.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"homonyms/internal/hom"
+	"homonyms/internal/inject"
+	"homonyms/internal/msg"
+)
+
+// Context carries everything a correct process may legally know at start:
+// its authenticated identifier, its input value and the public model
+// parameters. Deliberately absent: the process's engine slot and the
+// identifier assignment — homonyms must not be able to tell themselves
+// apart (paper §2: internal process names "cannot be used by the processes
+// themselves in their algorithms").
+type Context struct {
+	ID     hom.Identifier
+	Input  hom.Value
+	Params hom.Params
+}
+
+// Process is a deterministic correct process. The engine drives it with
+// the round protocol: Prepare(r) collects the messages to send in round r,
+// then Receive(r, inbox) delivers what arrived in round r. Decision is
+// polled after every round; once it reports a value it must keep reporting
+// the same value (decisions are irrevocable).
+type Process interface {
+	// Init is called once before round 1.
+	Init(ctx Context)
+	// Prepare returns the sends for the given round (1-based).
+	Prepare(round int) []msg.Send
+	// Receive delivers the round's inbox. The inbox is engine-owned
+	// scratch, recycled as soon as Receive returns: implementations must
+	// copy out anything they keep and must not retain the inbox or any
+	// slice it exposes (Messages, FromIdentifier) past the call.
+	Receive(round int, in *msg.Inbox)
+	// Decision returns the decided value, if any.
+	Decision() (hom.Value, bool)
+}
+
+// View is the omniscient adversary's window onto the execution for the
+// current round: what the correct slots are about to send (rushing
+// adversary), indexed by slot and by identifier group. The View and
+// every slice its accessors return are engine-owned scratch reused
+// across rounds: adversaries must not retain them past the Sends call.
+type View struct {
+	Params     hom.Params
+	Assignment hom.Assignment
+	Inputs     []hom.Value
+	Round      int
+	sends      [][]msg.Send // per sender slot; nil/empty when silent
+	senders    []int32      // ascending slots with at least one send
+	groups     [][]int32    // per identifier: ascending correct member slots
+}
+
+// Senders returns the correct slots sending at least one message this
+// round, ascending. The slice is engine-owned scratch.
+func (v *View) Senders() []int32 { return v.senders }
+
+// SendsOf returns the messages the given correct slot is about to send
+// this round; nil when the slot is silent, corrupted or out of range.
+func (v *View) SendsOf(slot int) []msg.Send {
+	if slot < 0 || slot >= len(v.sends) {
+		return nil
+	}
+	return v.sends[slot]
+}
+
+// GroupMembers returns the correct slots holding the given identifier,
+// ascending — fixed for the whole execution (corrupted slots excluded).
+// The slice is engine-owned; callers must not mutate it.
+func (v *View) GroupMembers(id hom.Identifier) []int32 {
+	if int(id) < 0 || int(id) >= len(v.groups) {
+		return nil
+	}
+	return v.groups[id]
+}
+
+// NewView assembles a stand-alone View, primarily for adversary unit
+// tests that feed hand-built rounds to Sends implementations.
+// sendsBySlot is indexed by sender slot; corrupted lists slots to
+// exclude from the identifier groups.
+func NewView(p hom.Params, a hom.Assignment, inputs []hom.Value, round int, sendsBySlot [][]msg.Send, corrupted []int) *View {
+	v := &View{
+		Params:     p,
+		Assignment: a,
+		Inputs:     inputs,
+		Round:      round,
+		sends:      sendsBySlot,
+	}
+	for s := range sendsBySlot {
+		if len(sendsBySlot[s]) > 0 {
+			v.senders = append(v.senders, int32(s))
+		}
+	}
+	isBad := make([]bool, len(a))
+	for _, s := range corrupted {
+		if s >= 0 && s < len(isBad) {
+			isBad[s] = true
+		}
+	}
+	v.groups = groupMembers(p, a, isBad)
+	return v
+}
+
+// groupMembers builds the per-identifier correct member lists (index 0
+// unused; identifiers are 1-based).
+func groupMembers(p hom.Params, a hom.Assignment, isBad []bool) [][]int32 {
+	groups := make([][]int32, p.L+1)
+	for s, id := range a {
+		if s < len(isBad) && isBad[s] {
+			continue
+		}
+		groups[id] = append(groups[id], int32(s))
+	}
+	return groups
+}
+
+// Adversary controls the Byzantine slots and (in the partially synchronous
+// model) message suppression. Implementations must be deterministic given
+// their own construction parameters.
+type Adversary interface {
+	// Corrupt selects the slots to corrupt, at most Params.T of them. It
+	// is called once, before round 1.
+	Corrupt(p hom.Params, a hom.Assignment, inputs []hom.Value) []int
+	// Sends returns the messages the given corrupted slot emits this
+	// round. The engine stamps them with the slot's true identifier.
+	Sends(round, slot int, view *View) []msg.TargetedSend
+	// Drop reports whether the message from fromSlot to toSlot should be
+	// suppressed this round. It is only honoured in the partially
+	// synchronous model for rounds before the engine's GST, and never for
+	// self-deliveries.
+	Drop(round, fromSlot, toSlot int) bool
+}
+
+// Observer is an optional extension: adversaries that implement it are
+// shown every delivery at the end of each round. The deliveries slice is
+// engine-owned scratch reused across rounds; observers must copy what
+// they keep.
+type Observer interface {
+	Observe(round int, deliveries []msg.Delivered)
+}
+
+// Config assembles one execution. It remains the aggregate carrier
+// behind the options API: New(opts...) folds every option into a Config
+// before validating it, and FromConfig seeds the options from a
+// hand-built one (which is how the deprecated sim.Run and runtime.Run
+// adapters keep their exact legacy surface).
+type Config struct {
+	Params     hom.Params
+	Assignment hom.Assignment
+	// Inputs holds one proposal per slot. Inputs of corrupted slots are
+	// ignored.
+	Inputs []hom.Value
+	// NewProcess builds the correct process for a slot. The slot argument
+	// lets the harness pick per-group implementations; the process itself
+	// only ever learns its identifier and input via Context.
+	NewProcess func(slot int) Process
+	// Adversary plays the Byzantine slots; nil means a fault-free run.
+	Adversary Adversary
+	// GST is the first round at which message drops are forbidden
+	// (partially synchronous model only). GST <= 1 makes the execution
+	// effectively synchronous.
+	GST int
+	// MaxRounds caps the execution. Required (> 0).
+	MaxRounds int
+	// ExtraRounds keeps the engine running this many rounds after every
+	// correct process has decided, which lets tests observe post-decision
+	// behaviour (the paper's processes "continue running the algorithm").
+	ExtraRounds int
+	// Visibility optionally restricts which slot pairs can communicate;
+	// nil means complete connectivity. Used by the covering-system
+	// impossibility scenario (paper Figure 1).
+	Visibility func(fromSlot, toSlot int) bool
+	// RecordTraffic stores every delivery in the result (memory-heavy;
+	// for debugging and the attack experiments).
+	RecordTraffic bool
+	// Interner optionally supplies the execution's key intern table. It
+	// is engine scratch: the engine resets it before round 1 and interns
+	// every delivered message's canonical key into it, so KeyID
+	// assignment is a pure function of the execution (identical across
+	// state representations and worker counts). Nil means the engine
+	// acquires one from the shared pool and recycles it when the run
+	// ends; pass one explicitly only to inspect the table afterwards.
+	Interner *msg.Interner
+	// Delivery selects the round routing strategy. The zero value is
+	// DeliverBatched (per-recipient batches over the SoA send arena);
+	// DeliverPerMessage selects the reference path. Both produce
+	// byte-identical Results — see DeliveryMode.
+	Delivery DeliveryMode
+	// Reception selects how inboxes are filled under batched delivery.
+	// The zero value is ReceiveGroupShared (one fill per identifier
+	// group when the group's delivered batches are byte-identical);
+	// ReceivePerRecipient selects the per-recipient reference path. Both
+	// produce byte-identical Results — see ReceptionMode.
+	Reception ReceptionMode
+	// Faults optionally injects benign (non-Byzantine) faults into the
+	// execution: crash-stop and crash-recovery windows for correct
+	// processes, send/receive omission, message duplication and stale
+	// replay at the delivery layer (package inject). Nil means no
+	// injected faults. Schedules compose with the Adversary — faults on
+	// corrupted slots are ignored — and validation errors surface from
+	// New. Touched correct slots are reported in Result.Faulted and
+	// excluded from Result.CorrectSlots.
+	Faults *inject.Schedule
+	// MaxSends caps the cumulative number of stamped sends across the
+	// execution (which bounds arena growth, since every arena entry is
+	// one stamped send). When the cap is reached the execution stops
+	// after the current round with Result.Stopped = StopMessageBudget.
+	// Zero means unlimited.
+	MaxSends int
+	// Deadline bounds the execution's wall-clock time; when it expires
+	// the execution stops after the current round with Result.Stopped =
+	// StopDeadline. It is a safety net against runaway process or
+	// adversary implementations, and the one knob that is deliberately
+	// NOT deterministic — never set it in parity or digest experiments.
+	// Zero means unlimited.
+	Deadline time.Duration
+	// Invariants enables paranoid mode: after every round the engine
+	// validates the router's internal invariants (arena index bounds,
+	// inbox issuance, shared-class refcounts and an equivalence-class
+	// byte-equality spot check) and aborts the execution with an
+	// *InvariantError on the first violation. Cheap enough for fuzz
+	// campaigns; off by default.
+	Invariants bool
+}
+
+// Releaser is an optional Process extension: after an execution finishes,
+// the engine calls Release on every correct process that implements it,
+// so protocol implementations can return arena-backed tables and intern
+// scratch to their pools for the next execution.
+//
+// Invariants: Release is called at most once per process, strictly after
+// its last Receive/Decision call (the concurrent state representation
+// calls it on the goroutine that owned the process, before Run returns);
+// the process is unusable afterwards, and anything it returned to a pool
+// — tables, interners, KeyIDs they issued — must not be referenced
+// again. Implementations must tolerate being absent: the hook is
+// optional and the engine never requires it.
+type Releaser interface {
+	Release()
+}
+
+// Validation errors for New (and the deprecated Config adapters).
+var (
+	ErrNilProcessFactory = errors.New("engine: NewProcess must not be nil")
+	ErrNoRoundCap        = errors.New("engine: MaxRounds must be positive")
+	ErrTooManyCorrupt    = errors.New("engine: adversary corrupted more than T slots")
+	ErrCorruptRange      = errors.New("engine: adversary corrupted an out-of-range or duplicate slot")
+)
+
+// Stats aggregates execution costs.
+type Stats struct {
+	// MessagesSent counts messages handed to the engine (after expanding
+	// identifier-targeted sends to their recipient sets).
+	MessagesSent int
+	// MessagesDelivered counts actual deliveries.
+	MessagesDelivered int
+	// MessagesDropped counts adversarial suppressions.
+	MessagesDropped int
+	// PayloadBytes sums len(Key()) over delivered payloads — a
+	// serialisation-free proxy for bandwidth.
+	PayloadBytes int
+	// RestrictedViolations counts messages a restricted Byzantine slot
+	// attempted beyond its one-per-recipient budget (discarded).
+	RestrictedViolations int
+	// FaultOmissions counts deliveries suppressed by the fault injector
+	// (messages to crashed recipients and omission-fault losses).
+	FaultOmissions int
+}
+
+// StopReason explains why an execution budget ended a run early; empty
+// when the execution ran to decision (plus ExtraRounds) or MaxRounds.
+type StopReason string
+
+const (
+	// StopMessageBudget: Config.MaxSends was reached.
+	StopMessageBudget StopReason = "message-budget"
+	// StopDeadline: Config.Deadline expired. Wall-clock, so inherently
+	// non-deterministic — see Config.Deadline.
+	StopDeadline StopReason = "deadline"
+)
+
+// Result reports one execution.
+type Result struct {
+	Params     hom.Params
+	Assignment hom.Assignment
+	Inputs     []hom.Value
+	// Corrupted lists the Byzantine slots, sorted.
+	Corrupted []int
+	// Faulted lists the correct (non-corrupted) slots touched by the
+	// injected fault schedule — crashed, omission-faulty, or the sender
+	// side of a duplication/replay link fault — sorted. Like corrupted
+	// slots they are exempt from the agreement properties: CorrectSlots
+	// excludes them, which is the standard treatment of faulty processes
+	// in the crash/omission model (and conservative for the link-fault
+	// senders, which merely keeps checkers sound).
+	Faulted []int
+	// Decisions holds each slot's decision (hom.NoValue when undecided or
+	// corrupted).
+	Decisions []hom.Value
+	// DecidedAt holds the 1-based round of each slot's decision (0 when
+	// undecided).
+	DecidedAt []int
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// GST echoes the effective stabilisation round of the execution
+	// (Config.GST clamped to at least 1), so post-hoc property checkers
+	// can compute stabilised superrounds without a side channel.
+	GST int
+	// AllDecided reports whether every correct slot (including faulted
+	// ones) decided; a crash-stopped slot never decides, so faulted
+	// executions typically run to MaxRounds with AllDecided false.
+	AllDecided bool
+	// Stopped is non-empty when an execution budget ended the run early.
+	Stopped StopReason
+	Stats   Stats
+	// Traffic holds every delivery when Config.RecordTraffic was set.
+	Traffic []msg.Delivered
+}
+
+// IsCorrupted reports whether the slot was Byzantine in this execution.
+func (r *Result) IsCorrupted(slot int) bool {
+	i := sort.SearchInts(r.Corrupted, slot)
+	return i < len(r.Corrupted) && r.Corrupted[i] == slot
+}
+
+// IsFaulted reports whether the slot was touched by the injected fault
+// schedule in this execution.
+func (r *Result) IsFaulted(slot int) bool {
+	i := sort.SearchInts(r.Faulted, slot)
+	return i < len(r.Faulted) && r.Faulted[i] == slot
+}
+
+// CorrectSlots returns the sorted slots that were neither corrupted nor
+// faulted — the processes the agreement properties quantify over.
+func (r *Result) CorrectSlots() []int {
+	out := make([]int, 0, len(r.Decisions)-len(r.Corrupted))
+	for s := range r.Decisions {
+		if !r.IsCorrupted(s) && !r.IsFaulted(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Engine holds one assembled execution: configuration, time model, state
+// representation, and the per-round scratch the kernel reuses across
+// rounds. Build one with New; it executes exactly once via Run.
+type Engine struct {
+	cfg       Config
+	tm        TimeModel
+	rep       StateRep
+	n         int
+	procs     []Process // nil at corrupted slots
+	corrupted []int
+	isBad     []bool
+	res       *Result
+	observer  Observer
+	deadline  time.Time
+
+	// Per-round scratch, allocated once and reused across rounds so the
+	// steady-state hot path is allocation-free (modulo what processes and
+	// adversaries themselves allocate). Routing scratch (send arena,
+	// per-recipient batches, delivery indices) lives in the Router,
+	// shared by every state representation.
+	correctSends [][]msg.Send         // per sender slot; nil when silent
+	byzSends     [][]msg.TargetedSend // per sender slot; only corrupted used
+	senders      []int32              // the View's sender index, rebuilt per round
+	groups       [][]int32            // the View's per-identifier correct members, execution-fixed
+	view         View                 // handed to the adversary each round
+	router       *Router              // stamping, batching, delivery, stats
+	intern       *msg.Interner        // per-execution key symbolization table
+	ownIntern    bool                 // the engine pooled it and must recycle it
+	inj          *inject.Injector     // compiled fault schedule, nil when fault-free
+}
+
+// newEngine builds the execution state for a validated Config.
+func newEngine(cfg Config, tm TimeModel, rep StateRep) (*Engine, error) {
+	n := cfg.Params.N
+	e := &Engine{
+		cfg:   cfg,
+		tm:    tm,
+		rep:   rep,
+		n:     n,
+		procs: make([]Process, n),
+		isBad: make([]bool, n),
+	}
+	decisions := make([]hom.Value, n)
+	for i := range decisions {
+		decisions[i] = hom.NoValue
+	}
+	if cfg.Adversary != nil {
+		bad := cfg.Adversary.Corrupt(cfg.Params, cfg.Assignment.Clone(), append([]hom.Value(nil), cfg.Inputs...))
+		if len(bad) > cfg.Params.T {
+			return nil, fmt.Errorf("%w (%d > %d)", ErrTooManyCorrupt, len(bad), cfg.Params.T)
+		}
+		sorted := append([]int(nil), bad...)
+		sort.Ints(sorted)
+		for i, s := range sorted {
+			if s < 0 || s >= n || (i > 0 && sorted[i-1] == s) {
+				return nil, fmt.Errorf("%w (slot %d)", ErrCorruptRange, s)
+			}
+			e.isBad[s] = true
+		}
+		e.corrupted = sorted
+		if obs, ok := cfg.Adversary.(Observer); ok {
+			e.observer = obs
+		}
+	}
+	for s := 0; s < n; s++ {
+		if e.isBad[s] {
+			continue
+		}
+		p := cfg.NewProcess(s)
+		if p == nil {
+			return nil, ErrNilProcessFactory
+		}
+		p.Init(Context{ID: cfg.Assignment[s], Input: cfg.Inputs[s], Params: cfg.Params})
+		e.procs[s] = p
+	}
+	gst := cfg.GST
+	if gst < 1 {
+		gst = 1
+	}
+	inj, err := inject.Compile(cfg.Faults, n)
+	if err != nil {
+		return nil, err
+	}
+	e.inj = inj
+	e.res = &Result{
+		Params:     cfg.Params,
+		GST:        gst,
+		Assignment: cfg.Assignment.Clone(),
+		Inputs:     append([]hom.Value(nil), cfg.Inputs...),
+		Corrupted:  e.corrupted,
+		Decisions:  decisions,
+		DecidedAt:  make([]int, n),
+	}
+	// Faults scheduled against corrupted slots are moot (the adversary
+	// already controls them); only correct culprits are reported.
+	for _, s := range inj.Culprits() {
+		if !e.isBad[s] {
+			e.res.Faulted = append(e.res.Faulted, s)
+		}
+	}
+	e.correctSends = make([][]msg.Send, n)
+	e.byzSends = make([][]msg.TargetedSend, n)
+	if cfg.Adversary != nil && len(e.corrupted) > 0 {
+		e.senders = make([]int32, 0, n)
+		e.groups = groupMembers(cfg.Params, e.res.Assignment, e.isBad)
+	}
+	if cfg.Interner != nil {
+		e.intern = cfg.Interner
+		e.intern.Reset()
+	} else {
+		e.intern = msg.NewPooledInterner()
+		e.ownIntern = true
+	}
+	record := cfg.RecordTraffic || e.observer != nil
+	e.router = NewRouter(&e.cfg, e.isBad, &e.res.Stats, e.intern, record, e.inj)
+	return e, nil
+}
+
+// Run executes the assembled instance once, driven by its TimeModel, to
+// completion (all correct slots decided, plus ExtraRounds), to MaxRounds,
+// or to a budget stop. An Engine must not be reused after Run returns.
+func (e *Engine) Run() (*Result, error) {
+	// Tear down the state representation (joining any goroutines it owns
+	// and releasing processes) and recycle the pooled interner on every
+	// exit path, including an invariant abort mid-execution.
+	defer func() {
+		e.rep.Stop()
+		if e.ownIntern {
+			e.intern.Recycle()
+			e.intern = nil
+		}
+	}()
+	if err := e.rep.Start(e); err != nil {
+		return nil, err
+	}
+	if e.cfg.Deadline > 0 {
+		e.deadline = time.Now().Add(e.cfg.Deadline)
+	}
+	if err := e.tm.Drive(e); err != nil {
+		return nil, err
+	}
+	e.res.AllDecided = e.AllCorrectDecided()
+	return e.res, nil
+}
+
+// MaxRounds exposes the execution's round cap to time models.
+func (e *Engine) MaxRounds() int { return e.cfg.MaxRounds }
+
+// ExtraRounds exposes the post-decision round allowance to time models.
+func (e *Engine) ExtraRounds() int { return e.cfg.ExtraRounds }
+
+// AllCorrectDecided reports whether every non-corrupted slot has decided.
+func (e *Engine) AllCorrectDecided() bool {
+	for s := 0; s < e.n; s++ {
+		if !e.isBad[s] && e.res.DecidedAt[s] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Exhausted checks the execution budgets after a round; when one is
+// spent it records the stop reason on the Result and reports true.
+func (e *Engine) Exhausted() bool {
+	if e.cfg.MaxSends > 0 && e.router.TotalStamped() >= e.cfg.MaxSends {
+		e.res.Stopped = StopMessageBudget
+		return true
+	}
+	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		e.res.Stopped = StopDeadline
+		return true
+	}
+	return false
+}
+
+// Step executes one round: collect correct sends, ask the adversary for
+// Byzantine sends, deliver, and advance every correct process. All round
+// state lives in engine-owned scratch reused across rounds. A correct
+// slot inside a crash window takes no step this round — no Prepare, no
+// Receive, no Decision poll — and rejoins with its pre-crash protocol
+// state when (and if) the window ends, per the crash-recovery model.
+func (e *Engine) Step(round int) error {
+	e.res.Rounds = round
+
+	// Phase 1: correct sends, collected by the state representation.
+	e.rep.PrepareRound(round)
+
+	// Phase 2: Byzantine sends (rushing: the adversary sees phase 1).
+	if e.cfg.Adversary != nil && len(e.corrupted) > 0 {
+		e.senders = e.senders[:0]
+		for s := 0; s < e.n; s++ {
+			if len(e.correctSends[s]) > 0 {
+				e.senders = append(e.senders, int32(s))
+			}
+		}
+		e.view = View{
+			Params:     e.cfg.Params,
+			Assignment: e.res.Assignment,
+			Inputs:     e.res.Inputs,
+			Round:      round,
+			sends:      e.correctSends,
+			senders:    e.senders,
+			groups:     e.groups,
+		}
+		for _, s := range e.corrupted {
+			e.byzSends[s] = e.cfg.Adversary.Sends(round, s, &e.view)
+		}
+	}
+
+	// Phase 3: stamp, batch, deliver — the Router shared by every state
+	// representation. Each send is stamped (and its key interned) exactly
+	// once into the round's SoA send arena; routing then moves only int32
+	// arena indices, so the n^2 delivery fan-out never copies
+	// pointer-laden Message structs, and under batched delivery each
+	// recipient's round is one masked index-slice copy.
+	e.router.BeginRound(round)
+	for from := 0; from < e.n; from++ {
+		if e.isBad[from] {
+			continue
+		}
+		e.router.RouteCorrect(from, e.correctSends[from])
+	}
+	for _, from := range e.corrupted {
+		e.router.RouteByzantine(from, e.byzSends[from])
+		e.byzSends[from] = nil
+	}
+	e.router.Flush()
+
+	// Phase 4: reception and state transitions, owned by the state
+	// representation. Inboxes come from the shared pool and go straight
+	// back once Receive returns (processes must not retain them — see the
+	// Process contract).
+	e.rep.DeliverRound(round)
+
+	if e.cfg.RecordTraffic {
+		e.res.Traffic = append(e.res.Traffic, e.router.Deliveries()...)
+	}
+	if e.observer != nil {
+		e.observer.Observe(round, e.router.Deliveries())
+	}
+	if e.cfg.Invariants {
+		return e.router.VerifyRound()
+	}
+	return nil
+}
+
+// The accessors below are the state-representation seam: everything a
+// StateRep needs to collect a round's sends and deliver its inboxes,
+// exported so representations can live outside this package.
+
+// N returns the number of slots.
+func (e *Engine) N() int { return e.n }
+
+// IsBad reports whether the slot is corrupted.
+func (e *Engine) IsBad(slot int) bool { return e.isBad[slot] }
+
+// Crashed reports whether the slot is inside an injected crash window
+// for the given round (it must take no step).
+func (e *Engine) Crashed(slot, round int) bool { return e.inj.Down(slot, round) }
+
+// Process returns the correct process at the slot (nil when corrupted).
+func (e *Engine) Process(slot int) Process { return e.procs[slot] }
+
+// SetSends records a correct slot's sends for the current round during
+// PrepareRound; pass nil for a silent round.
+func (e *Engine) SetSends(slot int, sends []msg.Send) { e.correctSends[slot] = sends }
+
+// Router returns the execution's delivery machinery; representations
+// draw per-recipient inboxes from it during DeliverRound.
+func (e *Engine) Router() *Router { return e.router }
+
+// RecordDecision notes a slot's decision poll after its Receive for the
+// round; only the first decided poll is recorded (irrevocability).
+func (e *Engine) RecordDecision(slot int, v hom.Value, decided bool, round int) {
+	if decided && e.res.DecidedAt[slot] == 0 {
+		e.res.Decisions[slot] = v
+		e.res.DecidedAt[slot] = round
+	}
+}
+
+// Decided reports whether the slot has already decided.
+func (e *Engine) Decided(slot int) bool { return e.res.DecidedAt[slot] != 0 }

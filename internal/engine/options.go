@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"homonyms/internal/hom"
+	"homonyms/internal/inject"
+	"homonyms/internal/msg"
+)
+
+// Option errors. New reports every option-level problem at once (the
+// returned error joins them); errors.Is matches the sentinels.
+var (
+	// ErrConflictingOptions: the same knob was set twice with different
+	// values. Repeating an option with the same value is idempotent.
+	ErrConflictingOptions = errors.New("engine: conflicting options")
+	// ErrNilOption: a nil value was passed where a non-nil one is
+	// required (WithFaults, WithInterner, WithAdversary, WithTimeModel,
+	// WithStateRep, or a nil Option itself). Absence is expressed by not
+	// passing the option, never by passing nil through it.
+	ErrNilOption = errors.New("engine: nil value passed to option")
+	// ErrBadOption: an option value is outside its domain (unknown
+	// delivery/reception mode, negative budget).
+	ErrBadOption = errors.New("engine: invalid option value")
+)
+
+// settings accumulates the options before validation. Each knob that
+// must be single-valued registers under a name in seen; a second
+// registration with a different rendered value is a conflict.
+type settings struct {
+	cfg  Config
+	tm   TimeModel
+	rep  StateRep
+	seen map[string]string
+	errs []error
+}
+
+// Option configures one knob of an execution under assembly by New.
+type Option func(*settings)
+
+func (s *settings) fail(err error) { s.errs = append(s.errs, err) }
+
+// once registers a single-valued knob; a repeat with a different value
+// records an ErrConflictingOptions.
+func (s *settings) once(knob, value string) bool {
+	if prev, ok := s.seen[knob]; ok && prev != value {
+		s.fail(fmt.Errorf("%w: %s set to both %s and %s", ErrConflictingOptions, knob, prev, value))
+		return false
+	}
+	s.seen[knob] = value
+	return true
+}
+
+// New assembles and validates one execution. Defaults: batched
+// delivery, group-shared reception, the Lockstep time model and the
+// sequential Concrete state representation; no adversary, no faults, no
+// budgets. Option-level errors (conflicts, nil values, out-of-domain
+// modes) are joined and reported together; configuration-level
+// validation (parameters, assignment, inputs, process factory, round
+// cap) then runs in the same order the legacy sim.Run used, so the
+// deprecated adapters surface identical errors.
+func New(opts ...Option) (*Engine, error) {
+	s := &settings{seen: make(map[string]string)}
+	for _, opt := range opts {
+		if opt == nil {
+			s.fail(fmt.Errorf("%w: nil Option", ErrNilOption))
+			continue
+		}
+		opt(s)
+	}
+	if len(s.errs) > 0 {
+		return nil, errors.Join(s.errs...)
+	}
+	if s.tm == nil {
+		s.tm = Lockstep{}
+	}
+	if s.rep == nil {
+		s.rep = Concrete()
+	}
+	cfg := s.cfg
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Assignment.Validate(cfg.Params); err != nil {
+		return nil, err
+	}
+	if len(cfg.Inputs) != cfg.Params.N {
+		return nil, fmt.Errorf("%w (got %d, want %d)", hom.ErrInputLength, len(cfg.Inputs), cfg.Params.N)
+	}
+	if cfg.NewProcess == nil {
+		return nil, ErrNilProcessFactory
+	}
+	if cfg.MaxRounds <= 0 {
+		return nil, ErrNoRoundCap
+	}
+	return newEngine(cfg, s.tm, s.rep)
+}
+
+// Run assembles an execution from opts and runs it once.
+func Run(opts ...Option) (*Result, error) {
+	e, err := New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+// FromConfig seeds every configuration knob from a hand-built Config —
+// the bridge the deprecated sim.Run and runtime.Run adapters use.
+// It is a base layer, not a single-valued knob: options after it
+// override its fields without conflicting, so adapters can compose it
+// (e.g. with WithStateRep).
+func FromConfig(cfg Config) Option {
+	return func(s *settings) { s.cfg = cfg }
+}
+
+// WithParams fixes the model instance (n, l, t, synchrony, switches).
+func WithParams(p hom.Params) Option {
+	return func(s *settings) {
+		if s.once("Params", fmt.Sprintf("%+v", p)) {
+			s.cfg.Params = p
+		}
+	}
+}
+
+// WithAssignment maps slots to identifiers.
+func WithAssignment(a hom.Assignment) Option {
+	return func(s *settings) {
+		if s.once("Assignment", fmt.Sprintf("%v", a)) {
+			s.cfg.Assignment = a
+		}
+	}
+}
+
+// WithInputs supplies one proposal per slot.
+func WithInputs(inputs ...hom.Value) Option {
+	return func(s *settings) {
+		if s.once("Inputs", fmt.Sprintf("%v", inputs)) {
+			s.cfg.Inputs = inputs
+		}
+	}
+}
+
+// WithProcess supplies the correct-process factory.
+func WithProcess(factory func(slot int) Process) Option {
+	return func(s *settings) {
+		// Nil is caught by New's configuration validation
+		// (ErrNilProcessFactory), matching the legacy Config path.
+		s.cfg.NewProcess = factory
+	}
+}
+
+// WithAdversary installs the Byzantine adversary.
+func WithAdversary(adv Adversary) Option {
+	return func(s *settings) {
+		if adv == nil {
+			s.fail(fmt.Errorf("%w: WithAdversary(nil)", ErrNilOption))
+			return
+		}
+		if s.once("Adversary", fmt.Sprintf("%p", adv)) {
+			s.cfg.Adversary = adv
+		}
+	}
+}
+
+// WithGST sets the first round with guaranteed delivery (partially
+// synchronous model); values below 1 are clamped to 1.
+func WithGST(round int) Option {
+	return func(s *settings) {
+		if s.once("GST", fmt.Sprintf("%d", round)) {
+			s.cfg.GST = round
+		}
+	}
+}
+
+// WithRounds caps the execution. Required (> 0).
+func WithRounds(maxRounds int) Option {
+	return func(s *settings) {
+		if s.once("Rounds", fmt.Sprintf("%d", maxRounds)) {
+			s.cfg.MaxRounds = maxRounds
+		}
+	}
+}
+
+// WithExtraRounds keeps the engine running after every correct process
+// decided (see Config.ExtraRounds).
+func WithExtraRounds(extra int) Option {
+	return func(s *settings) {
+		if s.once("ExtraRounds", fmt.Sprintf("%d", extra)) {
+			s.cfg.ExtraRounds = extra
+		}
+	}
+}
+
+// WithVisibility restricts which slot pairs can communicate.
+func WithVisibility(visible func(fromSlot, toSlot int) bool) Option {
+	return func(s *settings) {
+		if visible == nil {
+			s.fail(fmt.Errorf("%w: WithVisibility(nil)", ErrNilOption))
+			return
+		}
+		s.cfg.Visibility = visible
+	}
+}
+
+// WithTrafficRecording stores every delivery in the Result.
+func WithTrafficRecording() Option {
+	return func(s *settings) { s.cfg.RecordTraffic = true }
+}
+
+// WithDelivery selects the round routing strategy.
+func WithDelivery(m DeliveryMode) Option {
+	return func(s *settings) {
+		if m != DeliverBatched && m != DeliverPerMessage {
+			s.fail(fmt.Errorf("%w: unknown DeliveryMode %d", ErrBadOption, m))
+			return
+		}
+		if s.once("Delivery", fmt.Sprintf("%d", m)) {
+			s.cfg.Delivery = m
+		}
+	}
+}
+
+// WithReception selects how inboxes are filled under batched delivery.
+func WithReception(m ReceptionMode) Option {
+	return func(s *settings) {
+		if m != ReceiveGroupShared && m != ReceivePerRecipient {
+			s.fail(fmt.Errorf("%w: unknown ReceptionMode %d", ErrBadOption, m))
+			return
+		}
+		if s.once("Reception", fmt.Sprintf("%d", m)) {
+			s.cfg.Reception = m
+		}
+	}
+}
+
+// WithFaults injects the benign-fault schedule (package inject); the
+// schedule is compiled, and validated, by New.
+func WithFaults(schedule *inject.Schedule) Option {
+	return func(s *settings) {
+		if schedule == nil {
+			s.fail(fmt.Errorf("%w: WithFaults(nil)", ErrNilOption))
+			return
+		}
+		if s.once("Faults", fmt.Sprintf("%p", schedule)) {
+			s.cfg.Faults = schedule
+		}
+	}
+}
+
+// WithInvariants enables the paranoid per-round router self-checks.
+func WithInvariants() Option {
+	return func(s *settings) { s.cfg.Invariants = true }
+}
+
+// WithBudget bounds the execution: maxSends caps cumulative stamped
+// sends (0 = unlimited), deadline bounds wall-clock time (0 =
+// unlimited; inherently non-deterministic — see Config.Deadline).
+func WithBudget(maxSends int, deadline time.Duration) Option {
+	return func(s *settings) {
+		if maxSends < 0 || deadline < 0 {
+			s.fail(fmt.Errorf("%w: WithBudget(%d, %s)", ErrBadOption, maxSends, deadline))
+			return
+		}
+		if s.once("Budget", fmt.Sprintf("%d/%s", maxSends, deadline)) {
+			s.cfg.MaxSends = maxSends
+			s.cfg.Deadline = deadline
+		}
+	}
+}
+
+// WithInterner supplies the execution's key intern table (see
+// Config.Interner; the engine resets it before round 1).
+func WithInterner(table *msg.Interner) Option {
+	return func(s *settings) {
+		if table == nil {
+			s.fail(fmt.Errorf("%w: WithInterner(nil)", ErrNilOption))
+			return
+		}
+		if s.once("Interner", fmt.Sprintf("%p", table)) {
+			s.cfg.Interner = table
+		}
+	}
+}
+
+// WithTimeModel selects the execution's time model (default Lockstep).
+func WithTimeModel(tm TimeModel) Option {
+	return func(s *settings) {
+		if tm == nil {
+			s.fail(fmt.Errorf("%w: WithTimeModel(nil)", ErrNilOption))
+			return
+		}
+		if s.once("TimeModel", tm.Describe()) {
+			s.tm = tm
+		}
+	}
+}
+
+// WithStateRep selects the state representation (default Concrete).
+func WithStateRep(rep StateRep) Option {
+	return func(s *settings) {
+		if rep == nil {
+			s.fail(fmt.Errorf("%w: WithStateRep(nil)", ErrNilOption))
+			return
+		}
+		if s.once("StateRep", rep.Describe()) {
+			s.rep = rep
+		}
+	}
+}

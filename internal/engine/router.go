@@ -1,4 +1,4 @@
-package sim
+package engine
 
 import (
 	"fmt"
@@ -90,9 +90,9 @@ func (s dropShim) DropBatch(round, toSlot int, fromSlots []int32, drop []bool) {
 	}
 }
 
-// Router is the delivery machinery shared by the sequential (sim) and
-// concurrent (runtime) engines: it stamps each send exactly once into a
-// per-round structure-of-arrays arena (interning its canonical key, in
+// Router is the delivery machinery shared by every state
+// representation: it stamps each send exactly once into a per-round
+// structure-of-arrays arena (interning its canonical key, in
 // deterministic send order), routes deliveries as int32 arena indices,
 // enforces visibility, pre-GST drops and the restricted-Byzantine
 // budget, accumulates the execution statistics, and classifies
@@ -100,8 +100,8 @@ func (s dropShim) DropBatch(round, toSlot int, fromSlots []int32, drop []bool) {
 // batches are filled into one shared inbox core instead of one per
 // process.
 //
-// It exists so the two engines cannot diverge: they share routing code
-// instead of mirroring it. All its buffers are engine round scratch,
+// It exists so state representations cannot diverge: they share routing
+// code instead of mirroring it. All its buffers are engine round scratch,
 // allocated once per execution and reused across rounds; an inbox
 // returned by Inbox references the arena and is valid only until the
 // next BeginRound.

@@ -1,0 +1,55 @@
+package engine
+
+// TimeModel owns the outer execution loop: when rounds begin, how many
+// run, and when the execution ends. The kernel hands it an Engine whose
+// Step method executes one full round (prepare → adversary → route →
+// deliver → check); everything between Step calls — pacing, budgets,
+// termination — is the model's to decide.
+//
+// Lockstep is the only implementation today and realises the paper's
+// synchronous and partially synchronous models (the latter differs only
+// in the Router's pre-GST drop window, not in the loop shape). The seam
+// exists for the execution models the roadmap names next: an
+// eventually-synchronous model where per-process round skew is bounded
+// only after GST, and an event-driven model where Step dissolves into
+// per-delivery scheduling. Implementations must be deterministic: any
+// randomness or wall-clock dependence belongs in explicitly
+// non-deterministic knobs (Config.Deadline), never in Drive.
+type TimeModel interface {
+	// Describe names the model for diagnostics.
+	Describe() string
+	// Drive executes the assembled engine to termination. It must call
+	// e.Step for every round it runs and stop on the first error.
+	Drive(e *Engine) error
+}
+
+// Lockstep is the paper's round-by-round timing model: all processes
+// advance through the same round together, and the execution ends at
+// decision (plus ExtraRounds), at MaxRounds, or at a budget stop.
+type Lockstep struct{}
+
+// Describe implements TimeModel.
+func (Lockstep) Describe() string { return "lockstep" }
+
+// Drive implements TimeModel.
+func (Lockstep) Drive(e *Engine) error {
+	decidedRemaining := -1 // countdown once everyone decided
+	for round := 1; round <= e.MaxRounds(); round++ {
+		if err := e.Step(round); err != nil {
+			return err
+		}
+		if e.Exhausted() {
+			break
+		}
+		if e.AllCorrectDecided() {
+			if decidedRemaining < 0 {
+				decidedRemaining = e.ExtraRounds()
+			}
+			if decidedRemaining == 0 {
+				break
+			}
+			decidedRemaining--
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package fuzz
+
+import (
+	"testing"
+
+	"homonyms/internal/engine"
+	"homonyms/internal/runtime"
+	"homonyms/internal/sim"
+)
+
+// TestSeedCorpusEngineAdapterParity pins the deprecation adapters: for
+// every committed regression seed, in every delivery mode, the thin
+// sim.Run and runtime.Run wrappers must produce results byte-identical
+// to calling the unified round-core directly through engine.Run with
+// the corresponding state representation. This is the API-redesign
+// safety net — the adapters may add nothing beyond option plumbing.
+func TestSeedCorpusEngineAdapterParity(t *testing.T) {
+	for _, sc := range corpusScenarios(t) {
+		sc := sc
+		t.Run(sc.Protocol+"_"+sc.Behavior.Kind, func(t *testing.T) {
+			for _, mode := range []sim.DeliveryMode{sim.DeliverBatched, sim.DeliverPerMessage} {
+				freshCfg := func() sim.Config {
+					cfg, err := sc.Config()
+					if err != nil {
+						t.Fatalf("config: %v", err)
+					}
+					cfg.Delivery = mode
+					return cfg
+				}
+				run := func(name string, fn func(sim.Config) (*sim.Result, error)) string {
+					res, err := fn(freshCfg())
+					if err != nil {
+						t.Fatalf("%s/%v: %v", name, mode, err)
+					}
+					return resultFingerprint(res)
+				}
+
+				want := run("engine", func(cfg sim.Config) (*sim.Result, error) {
+					return engine.Run(engine.FromConfig(cfg))
+				})
+				legs := []struct {
+					name string
+					fn   func(sim.Config) (*sim.Result, error)
+				}{
+					{"sim.Run", sim.Run},
+					{"runtime.Run", runtime.Run},
+					{"engine-concurrent", func(cfg sim.Config) (*sim.Result, error) {
+						return engine.Run(engine.FromConfig(cfg),
+							engine.WithStateRep(engine.ConcurrentConcrete()))
+					}},
+				}
+				for _, leg := range legs {
+					if got := run(leg.name, leg.fn); got != want {
+						t.Errorf("%s/%v diverges from engine.Run:\ngot:  %s\nwant: %s",
+							leg.name, mode, got, want)
+					}
+				}
+			}
+		})
+	}
+}

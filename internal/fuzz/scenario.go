@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"homonyms/internal/adversary"
+	"homonyms/internal/engine"
 	"homonyms/internal/exec"
 	"homonyms/internal/hom"
 	"homonyms/internal/inject"
@@ -262,6 +263,18 @@ func (sc Scenario) Config() (sim.Config, error) {
 	}, nil
 }
 
+// Options assembles the scenario into options for the unified
+// round-core: the Config() assembly expressed as an engine.FromConfig
+// base layer, ready to compose with overrides (delivery mode, state
+// representation, invariants) — the preferred entry for new harnesses.
+func (sc Scenario) Options() ([]engine.Option, error) {
+	cfg, err := sc.Config()
+	if err != nil {
+		return nil, err
+	}
+	return []engine.Option{engine.FromConfig(cfg)}, nil
+}
+
 // Class is the fuzzer's classification of one execution.
 type Class string
 
@@ -381,8 +394,11 @@ func run(sc Scenario, opts Options) (out *Outcome) {
 		procs[slot] = pr
 		return pr
 	}
-	cfg.Invariants = opts.Invariants
-	res, err := sim.Run(cfg)
+	eopts := []engine.Option{engine.FromConfig(cfg)}
+	if opts.Invariants {
+		eopts = append(eopts, engine.WithInvariants())
+	}
+	res, err := engine.Run(eopts...)
 	if err != nil {
 		out.Detail = "sim: " + err.Error()
 		return out

@@ -208,3 +208,58 @@ func TestInternerSnapshot(t *testing.T) {
 		t.Fatalf("Snapshot = %v", snap)
 	}
 }
+
+// nestedLeaf and nestedEnvelope model a composed protocol: an envelope
+// whose body is itself scratch-keyed, exercising KeyBuilder.Nested.
+type nestedLeaf struct{ v hom.Value }
+
+func (p nestedLeaf) BuildKey(kb *KeyBuilder) { kb.Reset("leaf").Value(p.v) }
+func (p nestedLeaf) Key() string             { return ScratchKey(p) }
+
+type nestedEnvelope struct {
+	depth int
+	body  Payload
+}
+
+func (p nestedEnvelope) BuildKey(kb *KeyBuilder) { kb.Reset("env").Int(p.depth).Nested(p.body) }
+func (p nestedEnvelope) Key() string             { return ScratchKey(p) }
+
+// TestNestedMatchesStrOfKey pins the Nested contract: for any payload,
+// Nested(p) appends exactly the bytes Str(p.Key()) would — across
+// scratch-keyed bodies, plain-Key bodies, and recursive envelopes —
+// so switching an envelope's BuildKey to Nested can never change a
+// canonical key.
+func TestNestedMatchesStrOfKey(t *testing.T) {
+	bodies := []Payload{
+		Raw("plain|with|separators"),
+		nestedLeaf{v: 7},
+		nestedEnvelope{depth: 1, body: nestedLeaf{v: 3}},
+		nestedEnvelope{depth: 2, body: nestedEnvelope{depth: 1, body: Raw(`esc\|aped`)}},
+	}
+	for _, body := range bodies {
+		got := NewKey("outer").Int(9).Nested(body).String()
+		want := NewKey("outer").Int(9).Str(body.Key()).String()
+		if got != want {
+			t.Fatalf("Nested diverged from Str(Key()) for %T:\n got  %q\n want %q", body, got, want)
+		}
+	}
+}
+
+// TestNestedScratchKeyedAllocationFree pins the satellite's point: a
+// composed payload whose whole chain implements ScratchKeyer interns
+// through Nested without any fallback key-string allocation once the
+// key is known.
+func TestNestedScratchKeyedAllocationFree(t *testing.T) {
+	it := NewInterner()
+	kb := NewKey("outer")
+	p := nestedEnvelope{depth: 2, body: nestedEnvelope{depth: 1, body: nestedLeaf{v: 5}}}
+	p.BuildKey(kb)
+	kb.Intern(it)
+	allocs := testing.AllocsPerRun(100, func() {
+		p.BuildKey(kb)
+		kb.Intern(it)
+	})
+	if allocs != 0 {
+		t.Fatalf("nested scratch-keyed intern allocated %.1f times, want 0", allocs)
+	}
+}

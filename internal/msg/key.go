@@ -19,6 +19,10 @@ import (
 // safe for concurrent use — each process owns its own scratch builder.
 type KeyBuilder struct {
 	buf []byte
+	// sub is the lazily-allocated sub-builder Nested rebuilds inner
+	// payload keys into; chained nesting allocates one per depth, once
+	// per KeyBuilder lifetime.
+	sub *KeyBuilder
 }
 
 // NewKey starts a key with the payload's type tag, e.g. "propose".
@@ -74,6 +78,37 @@ func (kb *KeyBuilder) Str(s string) *KeyBuilder {
 	kb.buf = append(kb.buf, '|')
 	for i := 0; i < len(s); i++ {
 		switch c := s[i]; c {
+		case '|', '\\':
+			kb.buf = append(kb.buf, '\\', c)
+		default:
+			kb.buf = append(kb.buf, c)
+		}
+	}
+	return kb
+}
+
+// Nested appends an inner payload's canonical key as an escaped field,
+// byte-identical to Str(p.Key()) (guaranteed by the ScratchKeyer
+// contract), without materialising the key as a string when the payload
+// implements ScratchKeyer: the inner key is rebuilt into a reusable
+// sub-builder and its bytes escaped directly. Envelope payloads
+// (composed protocols, echo tuples) use it so their own BuildKey stays
+// allocation-free even when the wrapped body is itself scratch-keyed —
+// recursion chains one sub-builder per nesting depth, each allocated
+// once per KeyBuilder lifetime. Payloads without BuildKey fall back to
+// the Key() path unchanged.
+func (kb *KeyBuilder) Nested(p Payload) *KeyBuilder {
+	sk, ok := p.(ScratchKeyer)
+	if !ok {
+		return kb.Str(p.Key())
+	}
+	if kb.sub == nil {
+		kb.sub = &KeyBuilder{}
+	}
+	sk.BuildKey(kb.sub)
+	kb.buf = append(kb.buf, '|')
+	for _, c := range kb.sub.buf {
+		switch c {
 		case '|', '\\':
 			kb.buf = append(kb.buf, '\\', c)
 		default:

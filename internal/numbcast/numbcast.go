@@ -86,10 +86,10 @@ func NewBundle(inits []InitTuple, echoes []EchoTuple) *Bundle {
 	sort.Slice(es, func(a, b int) bool { return echoLess(es[a], es[b]) })
 	kb := msg.NewKey("numbundle").Int(len(is))
 	for _, it := range is {
-		kb.Str(it.Body.Key())
+		kb.Nested(it.Body)
 	}
 	for _, et := range es {
-		kb.Identifier(et.H).Int(et.A).Int(et.K).Str(et.Body.Key())
+		kb.Identifier(et.H).Int(et.A).Int(et.K).Nested(et.Body)
 	}
 	return &Bundle{Inits: is, Echoes: es, key: kb.String()}
 }
@@ -306,7 +306,7 @@ func (b *Broadcaster) validBundle(bundle *Bundle, round int) bool {
 		if it.Body == nil {
 			return false
 		}
-		kid := t.kb.Reset("i").Str(it.Body.Key()).Intern(t.keys)
+		kid := t.kb.Reset("i").Nested(it.Body).Intern(t.keys)
 		t.ensure(kid)
 		if t.seen[kid] == gen {
 			return false
@@ -337,7 +337,7 @@ const maxIdentifiers = 1 << 20
 // cellKID interns the canonical a[h, m, k] cell key ("c|h|k|body", built
 // in scratch) and returns its dense ID; known cells allocate nothing.
 func (b *Broadcaster) cellKID(h hom.Identifier, body msg.Payload, k int) msg.KeyID {
-	kid := b.tab.kb.Reset("c").Identifier(h).Int(k).Str(body.Key()).Intern(b.tab.keys)
+	kid := b.tab.kb.Reset("c").Identifier(h).Int(k).Nested(body).Intern(b.tab.keys)
 	b.tab.ensure(kid)
 	return kid
 }

@@ -172,7 +172,7 @@ type Envelope struct {
 func (e Envelope) BuildKey(kb *msg.KeyBuilder) {
 	kb.Reset("nenv")
 	for _, p := range e.Parts {
-		kb.Str(p.Key())
+		kb.Nested(p)
 	}
 }
 

@@ -1,345 +1,30 @@
-// Package runtime is the concurrent counterpart of package sim: every
-// correct process runs in its own goroutine and exchanges messages with a
-// coordinator over unbuffered channels, one lockstep round at a time. It
-// accepts the same sim.Config and produces results that are equal,
-// delivery for delivery, to the sequential kernel's (the equivalence is
-// enforced by tests), so either engine can back the examples, tools and
-// benchmarks.
-//
-// The goroutine lifecycle follows the project's coding guide: Run owns all
-// goroutines it spawns, signals them to stop through a close-once channel,
-// and joins them before returning — no leaks on any path.
+// Package runtime is the concurrent façade over the unified round-core
+// in package engine. It used to hold a full goroutine-per-process
+// engine kept in lockstep with package sim by parity tests; that
+// machinery now lives in the round-core as the ConcurrentConcrete state
+// representation (engine.ConcurrentConcrete), and Run remains as a
+// thin, deprecated adapter selecting it. Results are equal, delivery
+// for delivery, to the sequential representation's — the equivalence is
+// pinned by the parity suites over the committed fuzz corpus.
 package runtime
 
 import (
-	"fmt"
-	"sort"
-	"sync"
-	"time"
-
-	"homonyms/internal/hom"
-	"homonyms/internal/inject"
-	"homonyms/internal/msg"
+	"homonyms/internal/engine"
 	"homonyms/internal/sim"
 )
 
-// worker messages: the coordinator drives each process goroutine with a
-// strict prepare → sends → inbox → decision cycle per round.
-type prepareReq struct {
-	round int
-}
-
-type prepareResp struct {
-	slot  int
-	sends []msg.Send
-}
-
-type receiveReq struct {
-	round int
-	inbox *msg.Inbox
-}
-
-type decisionResp struct {
-	slot    int
-	value   hom.Value
-	decided bool
-}
-
-type worker struct {
-	slot    int
-	proc    sim.Process
-	prepare chan prepareReq
-	receive chan receiveReq
-}
-
-// Run executes cfg with one goroutine per correct process. The semantics
-// (identifier stamping, reception dedup/multiplicity, GST enforcement,
-// restricted-Byzantine budget, visibility masks, statistics) match
-// sim.Run exactly.
+// Run executes cfg on the unified round-core with one goroutine per
+// correct process. The semantics (identifier stamping, reception
+// dedup/multiplicity, GST enforcement, restricted-Byzantine budget,
+// visibility masks, statistics) match sim.Run exactly.
+//
+// Deprecated: assemble executions with engine.New and functional
+// options; engine.FromConfig bridges an existing Config, and
+// engine.WithStateRep(engine.ConcurrentConcrete()) selects this
+// package's execution style.
 func Run(cfg sim.Config) (*sim.Result, error) {
-	if err := cfg.Params.Validate(); err != nil {
-		return nil, err
-	}
-	if err := cfg.Assignment.Validate(cfg.Params); err != nil {
-		return nil, err
-	}
-	if len(cfg.Inputs) != cfg.Params.N {
-		return nil, fmt.Errorf("%w (got %d, want %d)", hom.ErrInputLength, len(cfg.Inputs), cfg.Params.N)
-	}
-	if cfg.NewProcess == nil {
-		return nil, sim.ErrNilProcessFactory
-	}
-	if cfg.MaxRounds <= 0 {
-		return nil, sim.ErrNoRoundCap
-	}
-
-	n := cfg.Params.N
-	isBad := make([]bool, n)
-	var corrupted []int
-	var observer sim.Observer
-	if cfg.Adversary != nil {
-		bad := cfg.Adversary.Corrupt(cfg.Params, cfg.Assignment.Clone(), append([]hom.Value(nil), cfg.Inputs...))
-		if len(bad) > cfg.Params.T {
-			return nil, fmt.Errorf("%w (%d > %d)", sim.ErrTooManyCorrupt, len(bad), cfg.Params.T)
-		}
-		corrupted = append([]int(nil), bad...)
-		sort.Ints(corrupted)
-		for i, s := range corrupted {
-			if s < 0 || s >= n || (i > 0 && corrupted[i-1] == s) {
-				return nil, fmt.Errorf("%w (slot %d)", sim.ErrCorruptRange, s)
-			}
-			isBad[s] = true
-		}
-		if obs, ok := cfg.Adversary.(sim.Observer); ok {
-			observer = obs
-		}
-	}
-
-	inj, err := inject.Compile(cfg.Faults, n)
-	if err != nil {
-		return nil, err
-	}
-
-	gst := cfg.GST
-	if gst < 1 {
-		gst = 1
-	}
-	res := &sim.Result{
-		Params:     cfg.Params,
-		GST:        gst,
-		Assignment: cfg.Assignment.Clone(),
-		Inputs:     append([]hom.Value(nil), cfg.Inputs...),
-		Corrupted:  corrupted,
-		Decisions:  make([]hom.Value, n),
-		DecidedAt:  make([]int, n),
-	}
-	for i := range res.Decisions {
-		res.Decisions[i] = hom.NoValue
-	}
-	// Same filtering as the sequential kernel: only correct culprits are
-	// reported (faults on corrupted slots are the adversary's problem).
-	for _, s := range inj.Culprits() {
-		if !isBad[s] {
-			res.Faulted = append(res.Faulted, s)
-		}
-	}
-
-	// Spawn one goroutine per correct process. Each worker loops on its
-	// prepare channel; closing it shuts the worker down. Replies flow
-	// through shared, coordinator-drained channels. stop is registered
-	// before the spawn loop so an error part-way through (nil factory)
-	// still joins the workers already running.
-	var wg sync.WaitGroup
-	workers := make([]*worker, n)
-	prepareOut := make(chan prepareResp)
-	decisionOut := make(chan decisionResp)
-	stop := func() {
-		for _, w := range workers {
-			if w != nil {
-				close(w.prepare)
-			}
-		}
-		wg.Wait()
-	}
-	defer stop()
-	for s := 0; s < n; s++ {
-		if isBad[s] {
-			continue
-		}
-		p := cfg.NewProcess(s)
-		if p == nil {
-			return nil, sim.ErrNilProcessFactory
-		}
-		p.Init(sim.Context{ID: cfg.Assignment[s], Input: cfg.Inputs[s], Params: cfg.Params})
-		w := &worker{
-			slot:    s,
-			proc:    p,
-			prepare: make(chan prepareReq),
-			receive: make(chan receiveReq),
-		}
-		workers[s] = w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for req := range w.prepare {
-				prepareOut <- prepareResp{slot: w.slot, sends: w.proc.Prepare(req.round)}
-				recv := <-w.receive
-				w.proc.Receive(recv.round, recv.inbox)
-				v, ok := w.proc.Decision()
-				decisionOut <- decisionResp{slot: w.slot, value: v, decided: ok}
-			}
-			// The coordinator closed the prepare channel: the execution is
-			// over, so the process can return its arenas to their pools.
-			// Doing it here keeps Release on the goroutine that owned the
-			// process state, joined before Run returns.
-			if r, ok := w.proc.(sim.Releaser); ok {
-				r.Release()
-			}
-		}()
-	}
-	decidedRemaining := -1
-	liveWorkers := 0
-	for _, w := range workers {
-		if w != nil {
-			liveWorkers++
-		}
-	}
-
-	// Per-round scratch, allocated once and reused across rounds — the
-	// same allocation discipline as the sequential kernel. The intern
-	// table lives on the coordinator: messages are symbolized in stamp
-	// order (identical to the sequential kernel's), never from worker
-	// goroutines, so KeyID assignment matches sim.Run exactly. Routing
-	// itself — stamping, per-recipient batching, masks, stats — is the
-	// sequential kernel's Router, shared so the engines cannot diverge.
-	intern := cfg.Interner
-	ownIntern := intern == nil
-	if ownIntern {
-		intern = msg.NewPooledInterner()
-		defer intern.Recycle()
-	} else {
-		intern.Reset()
-	}
-	record := cfg.RecordTraffic || observer != nil
-	router := sim.NewRouter(&cfg, isBad, &res.Stats, intern, record, inj)
-	correctSends := make(map[int][]msg.Send, liveWorkers)
-	byzSends := make([][]msg.TargetedSend, n)
-	inboxes := make([]*msg.Inbox, n)
-	var view sim.View
-	var deadline time.Time
-	if cfg.Deadline > 0 {
-		deadline = time.Now().Add(cfg.Deadline)
-	}
-
-	for round := 1; round <= cfg.MaxRounds; round++ {
-		res.Rounds = round
-
-		// Phase 1: fan out prepare requests, gather sends. A worker whose
-		// slot is inside a crash window gets no request this round — it
-		// stays parked on its prepare channel, holding its pre-crash
-		// protocol state, and resumes when the window ends.
-		up := 0
-		for _, w := range workers {
-			if w != nil && !inj.Down(w.slot, round) {
-				w.prepare <- prepareReq{round: round}
-				up++
-			}
-		}
-		clear(correctSends)
-		for i := 0; i < up; i++ {
-			resp := <-prepareOut
-			if len(resp.sends) > 0 {
-				correctSends[resp.slot] = resp.sends
-			}
-		}
-
-		// Phase 2: Byzantine sends.
-		if cfg.Adversary != nil && len(corrupted) > 0 {
-			view = sim.View{
-				Params:       cfg.Params,
-				Assignment:   res.Assignment,
-				Inputs:       res.Inputs,
-				Round:        round,
-				CorrectSends: correctSends,
-			}
-			for _, s := range corrupted {
-				byzSends[s] = cfg.Adversary.Sends(round, s, &view)
-			}
-		}
-
-		// Phase 3: routing — the sequential kernel's Router: sends stamped
-		// once into the round's SoA arena, deliveries routed as int32
-		// arena indices, per-recipient batches masked and flushed.
-		router.BeginRound(round)
-		for from := 0; from < n; from++ {
-			if isBad[from] {
-				continue
-			}
-			router.RouteCorrect(from, correctSends[from])
-		}
-		for _, from := range corrupted {
-			router.RouteByzantine(from, byzSends[from])
-			byzSends[from] = nil
-		}
-		router.Flush()
-
-		// Phase 4: fan out inboxes, gather decisions. Every Receive has
-		// returned before its worker reports a decision, so the inboxes can
-		// be recycled once all decisions are in.
-		for _, w := range workers {
-			if w != nil {
-				in := router.Inbox(w.slot)
-				if inj.Down(w.slot, round) {
-					// Crashed this round: the inbox is still drawn (and
-					// discarded) so shared-class reference counts drain,
-					// but the parked worker takes no step.
-					in.Recycle()
-					continue
-				}
-				inboxes[w.slot] = in
-				w.receive <- receiveReq{round: round, inbox: in}
-			}
-		}
-		for i := 0; i < up; i++ {
-			d := <-decisionOut
-			if res.DecidedAt[d.slot] == 0 && d.decided {
-				res.Decisions[d.slot] = d.value
-				res.DecidedAt[d.slot] = round
-			}
-		}
-		for s, in := range inboxes {
-			if in != nil {
-				in.Recycle()
-				inboxes[s] = nil
-			}
-		}
-
-		if cfg.RecordTraffic {
-			res.Traffic = append(res.Traffic, router.Deliveries()...)
-		}
-		if observer != nil {
-			observer.Observe(round, router.Deliveries())
-		}
-		if cfg.Invariants {
-			// Every worker that received a request this round has already
-			// answered, so an invariant abort here joins cleanly via stop.
-			if err := router.VerifyRound(); err != nil {
-				return nil, err
-			}
-		}
-		if cfg.MaxSends > 0 && router.TotalStamped() >= cfg.MaxSends {
-			res.Stopped = sim.StopMessageBudget
-			break
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			res.Stopped = sim.StopDeadline
-			break
-		}
-
-		allDecided := true
-		for s := 0; s < n; s++ {
-			if !isBad[s] && res.DecidedAt[s] == 0 {
-				allDecided = false
-				break
-			}
-		}
-		if allDecided {
-			if decidedRemaining < 0 {
-				decidedRemaining = cfg.ExtraRounds
-			}
-			if decidedRemaining == 0 {
-				break
-			}
-			decidedRemaining--
-		}
-	}
-
-	res.AllDecided = true
-	for s := 0; s < n; s++ {
-		if !isBad[s] && res.DecidedAt[s] == 0 {
-			res.AllDecided = false
-			break
-		}
-	}
-	return res, nil
+	return engine.Run(
+		engine.FromConfig(cfg),
+		engine.WithStateRep(engine.ConcurrentConcrete()),
+	)
 }

@@ -1,608 +1,87 @@
-// Package sim implements a deterministic, round-based simulation kernel for
-// the homonym model of Delporte-Gallet et al. (PODC 2011).
+// Package sim is the sequential façade over the unified round-core in
+// package engine. It used to hold the sequential kernel itself; since
+// the engines were unified it re-exports the core types unchanged and
+// keeps Run as a thin, deprecated adapter, so the entire legacy call
+// surface (Config struct literals, sim.Process implementations,
+// sim.Adversary plugins) keeps compiling and behaving byte-identically
+// — pinned by the parity suites over the committed fuzz corpus.
 //
-// The kernel realises exactly the paper's two timing models:
-//
-//   - Synchronous: in each round every process sends to (subsets of) the
-//     other processes and then receives everything sent to it that round.
-//   - Partially synchronous (the "basic" model of Dwork, Lynch and
-//     Stockmeyer): rounds as above, but an adversary may suppress message
-//     deliveries in any round before a global stabilisation round (GST).
-//     From GST on, every message is delivered, which realises "only a
-//     finite number of messages are dropped".
-//
-// Correct processes are deterministic state machines behind the Process
-// interface. They are addressed only by their authenticated identifier;
-// several processes may share an identifier (homonyms) and a receiver can
-// never tell which group member sent a message. Byzantine processes are
-// played by an Adversary, which is omniscient (it sees parameters,
-// assignment, inputs, and all traffic, including the current round's
-// correct sends — a rushing adversary) but can never forge an identifier:
-// the engine stamps every delivery with the true identifier of the sending
-// slot.
-//
-// Two model switches from the paper are enforced by the engine itself:
-//
-//   - Numerate vs innumerate reception: inboxes carry multiset or set
-//     semantics (msg.Inbox).
-//   - Restricted Byzantine processes: at most one message per recipient
-//     per round from each Byzantine slot; excess messages are discarded
-//     and counted, so lower-bound experiments in the restricted model are
-//     honest.
-//
-// Round delivery runs through the Router (shared with the concurrent
-// engine in package runtime): sends are stamped once into a
-// structure-of-arrays arena and, by default, delivered as per-recipient
-// batches with the adversary's masks applied over each whole batch
-// (DeliverBatched); Config.Delivery selects the per-message reference
-// path, which is byte-identical by test. On the reception side the
-// Router classifies, by default, each identifier group's correct
-// members into equivalence classes of byte-identical batches and fills
-// one shared inbox core per class (ReceiveGroupShared — the fill cost
-// of identifier-symmetric rounds scales with l instead of n);
-// Config.Reception selects the per-recipient reference path, which is
-// byte-identical by test.
+// New code should assemble executions with engine.New and functional
+// options (engine.WithDelivery, engine.WithReception, engine.WithFaults,
+// engine.WithInvariants, engine.WithBudget, engine.WithInterner, ...)
+// instead of building Config literals by hand.
 package sim
 
 import (
-	"errors"
-	"fmt"
-	"sort"
-	"time"
-
-	"homonyms/internal/hom"
-	"homonyms/internal/inject"
-	"homonyms/internal/msg"
+	"homonyms/internal/engine"
 )
 
-// Context carries everything a correct process may legally know at start:
-// its authenticated identifier, its input value and the public model
-// parameters. Deliberately absent: the process's engine slot and the
-// identifier assignment — homonyms must not be able to tell themselves
-// apart (paper §2: internal process names "cannot be used by the processes
-// themselves in their algorithms").
-type Context struct {
-	ID     hom.Identifier
-	Input  hom.Value
-	Params hom.Params
-}
-
-// Process is a deterministic correct process. The engine drives it with
-// the round protocol: Prepare(r) collects the messages to send in round r,
-// then Receive(r, inbox) delivers what arrived in round r. Decision is
-// polled after every round; once it reports a value it must keep reporting
-// the same value (decisions are irrevocable).
-type Process interface {
-	// Init is called once before round 1.
-	Init(ctx Context)
-	// Prepare returns the sends for the given round (1-based).
-	Prepare(round int) []msg.Send
-	// Receive delivers the round's inbox. The inbox is engine-owned
-	// scratch, recycled as soon as Receive returns: implementations must
-	// copy out anything they keep and must not retain the inbox or any
-	// slice it exposes (Messages, FromIdentifier) past the call.
-	Receive(round int, in *msg.Inbox)
-	// Decision returns the decided value, if any.
-	Decision() (hom.Value, bool)
-}
-
-// View is the omniscient adversary's window onto the execution for the
-// current round. CorrectSends exposes the messages correct slots are about
-// to send this round (rushing adversary). The View and its CorrectSends
-// map are engine-owned scratch reused across rounds: adversaries must not
-// retain them past the Sends call.
-type View struct {
-	Params       hom.Params
-	Assignment   hom.Assignment
-	Inputs       []hom.Value
-	Round        int
-	CorrectSends map[int][]msg.Send
-}
-
-// Adversary controls the Byzantine slots and (in the partially synchronous
-// model) message suppression. Implementations must be deterministic given
-// their own construction parameters.
-type Adversary interface {
-	// Corrupt selects the slots to corrupt, at most Params.T of them. It
-	// is called once, before round 1.
-	Corrupt(p hom.Params, a hom.Assignment, inputs []hom.Value) []int
-	// Sends returns the messages the given corrupted slot emits this
-	// round. The engine stamps them with the slot's true identifier.
-	Sends(round, slot int, view *View) []msg.TargetedSend
-	// Drop reports whether the message from fromSlot to toSlot should be
-	// suppressed this round. It is only honoured in the partially
-	// synchronous model for rounds before the engine's GST, and never for
-	// self-deliveries.
-	Drop(round, fromSlot, toSlot int) bool
-}
-
-// Observer is an optional extension: adversaries that implement it are
-// shown every delivery at the end of each round. The deliveries slice is
-// engine-owned scratch reused across rounds; observers must copy what
-// they keep.
-type Observer interface {
-	Observe(round int, deliveries []msg.Delivered)
-}
-
-// Config assembles one execution.
-type Config struct {
-	Params     hom.Params
-	Assignment hom.Assignment
-	// Inputs holds one proposal per slot. Inputs of corrupted slots are
-	// ignored.
-	Inputs []hom.Value
-	// NewProcess builds the correct process for a slot. The slot argument
-	// lets the harness pick per-group implementations; the process itself
-	// only ever learns its identifier and input via Context.
-	NewProcess func(slot int) Process
-	// Adversary plays the Byzantine slots; nil means a fault-free run.
-	Adversary Adversary
-	// GST is the first round at which message drops are forbidden
-	// (partially synchronous model only). GST <= 1 makes the execution
-	// effectively synchronous.
-	GST int
-	// MaxRounds caps the execution. Required (> 0).
-	MaxRounds int
-	// ExtraRounds keeps the engine running this many rounds after every
-	// correct process has decided, which lets tests observe post-decision
-	// behaviour (the paper's processes "continue running the algorithm").
-	ExtraRounds int
-	// Visibility optionally restricts which slot pairs can communicate;
-	// nil means complete connectivity. Used by the covering-system
-	// impossibility scenario (paper Figure 1).
-	Visibility func(fromSlot, toSlot int) bool
-	// RecordTraffic stores every delivery in the result (memory-heavy;
-	// for debugging and the attack experiments).
-	RecordTraffic bool
-	// Interner optionally supplies the execution's key intern table. It
-	// is engine scratch: the engine resets it before round 1 and interns
-	// every delivered message's canonical key into it, so KeyID
-	// assignment is a pure function of the execution (identical across
-	// engines and worker counts). Nil means the engine acquires one from
-	// the shared pool and recycles it when the run ends; pass one
-	// explicitly only to inspect the table afterwards.
-	Interner *msg.Interner
-	// Delivery selects the round routing strategy. The zero value is
-	// DeliverBatched (per-recipient batches over the SoA send arena);
-	// DeliverPerMessage selects the reference path. Both produce
-	// byte-identical Results — see DeliveryMode.
-	Delivery DeliveryMode
-	// Reception selects how inboxes are filled under batched delivery.
-	// The zero value is ReceiveGroupShared (one fill per identifier
-	// group when the group's delivered batches are byte-identical);
-	// ReceivePerRecipient selects the per-recipient reference path. Both
-	// produce byte-identical Results — see ReceptionMode.
-	Reception ReceptionMode
-	// Faults optionally injects benign (non-Byzantine) faults into the
-	// execution: crash-stop and crash-recovery windows for correct
-	// processes, send/receive omission, message duplication and stale
-	// replay at the delivery layer (package inject). Nil means no
-	// injected faults. Schedules compose with the Adversary — faults on
-	// corrupted slots are ignored — and validation errors surface from
-	// Run. Touched correct slots are reported in Result.Faulted and
-	// excluded from Result.CorrectSlots.
-	Faults *inject.Schedule
-	// MaxSends caps the cumulative number of stamped sends across the
-	// execution (which bounds arena growth, since every arena entry is
-	// one stamped send). When the cap is reached the execution stops
-	// after the current round with Result.Stopped = StopMessageBudget.
-	// Zero means unlimited.
-	MaxSends int
-	// Deadline bounds the execution's wall-clock time; when it expires
-	// the execution stops after the current round with Result.Stopped =
-	// StopDeadline. It is a safety net against runaway process or
-	// adversary implementations, and the one knob that is deliberately
-	// NOT deterministic — never set it in parity or digest experiments.
-	// Zero means unlimited.
-	Deadline time.Duration
-	// Invariants enables paranoid mode: after every round the engine
-	// validates the router's internal invariants (arena index bounds,
-	// inbox issuance, shared-class refcounts and an equivalence-class
-	// byte-equality spot check) and aborts the execution with an
-	// *InvariantError on the first violation. Cheap enough for fuzz
-	// campaigns; off by default.
-	Invariants bool
-}
-
-// Releaser is an optional Process extension: after an execution finishes,
-// the engines call Release on every correct process that implements it,
-// so protocol implementations can return arena-backed tables and intern
-// scratch to their pools for the next execution.
-//
-// Invariants: Release is called at most once per process, strictly after
-// its last Receive/Decision call (the concurrent engine calls it on the
-// goroutine that owned the process, before Run returns); the process is
-// unusable afterwards, and anything it returned to a pool — tables,
-// interners, KeyIDs they issued — must not be referenced again.
-// Implementations must tolerate being absent: the hook is optional and
-// engines never require it.
-type Releaser interface {
-	Release()
-}
-
-// Validation errors for Config.
-var (
-	ErrNilProcessFactory = errors.New("sim: NewProcess must not be nil")
-	ErrNoRoundCap        = errors.New("sim: MaxRounds must be positive")
-	ErrTooManyCorrupt    = errors.New("sim: adversary corrupted more than T slots")
-	ErrCorruptRange      = errors.New("sim: adversary corrupted an out-of-range or duplicate slot")
+// Core model types, re-exported from the round-core so existing
+// implementations of processes and adversaries satisfy the engine's
+// interfaces directly.
+type (
+	// Context carries what a correct process may legally know at start.
+	Context = engine.Context
+	// Process is a deterministic correct process.
+	Process = engine.Process
+	// View is the rushing adversary's per-round window.
+	View = engine.View
+	// Adversary controls the Byzantine slots and pre-GST drops.
+	Adversary = engine.Adversary
+	// Observer is the optional per-round delivery tap.
+	Observer = engine.Observer
+	// Releaser is the optional post-execution release hook.
+	Releaser = engine.Releaser
+	// BatchDropper is the optional batched drop-mask extension.
+	BatchDropper = engine.BatchDropper
+	// Config assembles one execution (legacy aggregate form).
+	Config = engine.Config
+	// Result reports one execution.
+	Result = engine.Result
+	// Stats aggregates execution costs.
+	Stats = engine.Stats
+	// StopReason explains an early budget stop.
+	StopReason = engine.StopReason
+	// DeliveryMode selects the routing strategy.
+	DeliveryMode = engine.DeliveryMode
+	// ReceptionMode selects the inbox fill strategy.
+	ReceptionMode = engine.ReceptionMode
+	// Router is the shared delivery machinery.
+	Router = engine.Router
+	// InvariantError reports a paranoid-mode violation.
+	InvariantError = engine.InvariantError
 )
 
-// Stats aggregates execution costs.
-type Stats struct {
-	// MessagesSent counts messages handed to the engine (after expanding
-	// identifier-targeted sends to their recipient sets).
-	MessagesSent int
-	// MessagesDelivered counts actual deliveries.
-	MessagesDelivered int
-	// MessagesDropped counts adversarial suppressions.
-	MessagesDropped int
-	// PayloadBytes sums len(Key()) over delivered payloads — a
-	// serialisation-free proxy for bandwidth.
-	PayloadBytes int
-	// RestrictedViolations counts messages a restricted Byzantine slot
-	// attempted beyond its one-per-recipient budget (discarded).
-	RestrictedViolations int
-	// FaultOmissions counts deliveries suppressed by the fault injector
-	// (messages to crashed recipients and omission-fault losses).
-	FaultOmissions int
-}
-
-// StopReason explains why an execution budget ended a run early; empty
-// when the execution ran to decision (plus ExtraRounds) or MaxRounds.
-type StopReason string
-
+// Routing-mode and stop-reason constants, re-exported.
 const (
-	// StopMessageBudget: Config.MaxSends was reached.
-	StopMessageBudget StopReason = "message-budget"
-	// StopDeadline: Config.Deadline expired. Wall-clock, so inherently
-	// non-deterministic — see Config.Deadline.
-	StopDeadline StopReason = "deadline"
+	DeliverBatched      = engine.DeliverBatched
+	DeliverPerMessage   = engine.DeliverPerMessage
+	ReceiveGroupShared  = engine.ReceiveGroupShared
+	ReceivePerRecipient = engine.ReceivePerRecipient
+	StopMessageBudget   = engine.StopMessageBudget
+	StopDeadline        = engine.StopDeadline
 )
 
-// Result reports one execution.
-type Result struct {
-	Params     hom.Params
-	Assignment hom.Assignment
-	Inputs     []hom.Value
-	// Corrupted lists the Byzantine slots, sorted.
-	Corrupted []int
-	// Faulted lists the correct (non-corrupted) slots touched by the
-	// injected fault schedule — crashed, omission-faulty, or the sender
-	// side of a duplication/replay link fault — sorted. Like corrupted
-	// slots they are exempt from the agreement properties: CorrectSlots
-	// excludes them, which is the standard treatment of faulty processes
-	// in the crash/omission model (and conservative for the link-fault
-	// senders, which merely keeps checkers sound).
-	Faulted []int
-	// Decisions holds each slot's decision (hom.NoValue when undecided or
-	// corrupted).
-	Decisions []hom.Value
-	// DecidedAt holds the 1-based round of each slot's decision (0 when
-	// undecided).
-	DecidedAt []int
-	// Rounds is the number of rounds executed.
-	Rounds int
-	// GST echoes the effective stabilisation round of the execution
-	// (Config.GST clamped to at least 1), so post-hoc property checkers
-	// can compute stabilised superrounds without a side channel.
-	GST int
-	// AllDecided reports whether every correct slot (including faulted
-	// ones) decided; a crash-stopped slot never decides, so faulted
-	// executions typically run to MaxRounds with AllDecided false.
-	AllDecided bool
-	// Stopped is non-empty when an execution budget ended the run early.
-	Stopped StopReason
-	Stats   Stats
-	// Traffic holds every delivery when Config.RecordTraffic was set.
-	Traffic []msg.Delivered
-}
+// Validation errors, re-exported so errors.Is keeps matching across the
+// old and new entry points.
+var (
+	ErrNilProcessFactory = engine.ErrNilProcessFactory
+	ErrNoRoundCap        = engine.ErrNoRoundCap
+	ErrTooManyCorrupt    = engine.ErrTooManyCorrupt
+	ErrCorruptRange      = engine.ErrCorruptRange
+)
 
-// IsCorrupted reports whether the slot was Byzantine in this execution.
-func (r *Result) IsCorrupted(slot int) bool {
-	i := sort.SearchInts(r.Corrupted, slot)
-	return i < len(r.Corrupted) && r.Corrupted[i] == slot
-}
+// NewRouter builds the shared delivery machinery.
+//
+// Deprecated: use engine.NewRouter.
+var NewRouter = engine.NewRouter
 
-// IsFaulted reports whether the slot was touched by the injected fault
-// schedule in this execution.
-func (r *Result) IsFaulted(slot int) bool {
-	i := sort.SearchInts(r.Faulted, slot)
-	return i < len(r.Faulted) && r.Faulted[i] == slot
-}
-
-// CorrectSlots returns the sorted slots that were neither corrupted nor
-// faulted — the processes the agreement properties quantify over.
-func (r *Result) CorrectSlots() []int {
-	out := make([]int, 0, len(r.Decisions)-len(r.Corrupted))
-	for s := range r.Decisions {
-		if !r.IsCorrupted(s) && !r.IsFaulted(s) {
-			out = append(out, s)
-		}
-	}
-	return out
-}
-
-// Run executes the configured instance to completion (all correct slots
-// decided, plus ExtraRounds) or to MaxRounds.
+// Run executes the configured instance on the unified round-core with
+// the sequential (Concrete) state representation — the exact semantics
+// this package's kernel had before unification.
+//
+// Deprecated: assemble executions with engine.New and functional
+// options; engine.FromConfig bridges an existing Config.
 func Run(cfg Config) (*Result, error) {
-	if err := cfg.Params.Validate(); err != nil {
-		return nil, err
-	}
-	if err := cfg.Assignment.Validate(cfg.Params); err != nil {
-		return nil, err
-	}
-	if len(cfg.Inputs) != cfg.Params.N {
-		return nil, fmt.Errorf("%w (got %d, want %d)", hom.ErrInputLength, len(cfg.Inputs), cfg.Params.N)
-	}
-	if cfg.NewProcess == nil {
-		return nil, ErrNilProcessFactory
-	}
-	if cfg.MaxRounds <= 0 {
-		return nil, ErrNoRoundCap
-	}
-	e, err := newEngine(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return e.run()
-}
-
-// engine holds the mutable execution state.
-type engine struct {
-	cfg       Config
-	n         int
-	procs     []Process // nil at corrupted slots
-	corrupted []int
-	isBad     []bool
-	decisions []hom.Value
-	decidedAt []int
-	res       *Result
-	observer  Observer
-
-	// Per-round scratch, allocated once and reused across rounds so the
-	// steady-state hot path is allocation-free (modulo what processes and
-	// adversaries themselves allocate). Routing scratch (send arena,
-	// per-recipient batches, delivery indices) lives in the Router, which
-	// is shared with the concurrent engine.
-	correctSends [][]msg.Send         // per sender slot; nil when silent
-	byzSends     [][]msg.TargetedSend // per sender slot; only corrupted used
-	sendsView    map[int][]msg.Send   // the View's CorrectSends, cleared per round
-	view         View                 // handed to the adversary each round
-	router       *Router              // stamping, batching, delivery, stats
-	intern       *msg.Interner        // per-execution key symbolization table
-	ownIntern    bool                 // the engine pooled it and must recycle it
-	inj          *inject.Injector     // compiled fault schedule, nil when fault-free
-}
-
-func newEngine(cfg Config) (*engine, error) {
-	n := cfg.Params.N
-	e := &engine{
-		cfg:       cfg,
-		n:         n,
-		procs:     make([]Process, n),
-		isBad:     make([]bool, n),
-		decisions: make([]hom.Value, n),
-		decidedAt: make([]int, n),
-	}
-	for i := range e.decisions {
-		e.decisions[i] = hom.NoValue
-	}
-	if cfg.Adversary != nil {
-		bad := cfg.Adversary.Corrupt(cfg.Params, cfg.Assignment.Clone(), append([]hom.Value(nil), cfg.Inputs...))
-		if len(bad) > cfg.Params.T {
-			return nil, fmt.Errorf("%w (%d > %d)", ErrTooManyCorrupt, len(bad), cfg.Params.T)
-		}
-		sorted := append([]int(nil), bad...)
-		sort.Ints(sorted)
-		for i, s := range sorted {
-			if s < 0 || s >= n || (i > 0 && sorted[i-1] == s) {
-				return nil, fmt.Errorf("%w (slot %d)", ErrCorruptRange, s)
-			}
-			e.isBad[s] = true
-		}
-		e.corrupted = sorted
-		if obs, ok := cfg.Adversary.(Observer); ok {
-			e.observer = obs
-		}
-	}
-	for s := 0; s < n; s++ {
-		if e.isBad[s] {
-			continue
-		}
-		p := cfg.NewProcess(s)
-		if p == nil {
-			return nil, ErrNilProcessFactory
-		}
-		p.Init(Context{ID: cfg.Assignment[s], Input: cfg.Inputs[s], Params: cfg.Params})
-		e.procs[s] = p
-	}
-	gst := cfg.GST
-	if gst < 1 {
-		gst = 1
-	}
-	inj, err := inject.Compile(cfg.Faults, n)
-	if err != nil {
-		return nil, err
-	}
-	e.inj = inj
-	e.res = &Result{
-		Params:     cfg.Params,
-		GST:        gst,
-		Assignment: cfg.Assignment.Clone(),
-		Inputs:     append([]hom.Value(nil), cfg.Inputs...),
-		Corrupted:  e.corrupted,
-		Decisions:  e.decisions,
-		DecidedAt:  e.decidedAt,
-	}
-	// Faults scheduled against corrupted slots are moot (the adversary
-	// already controls them); only correct culprits are reported.
-	for _, s := range inj.Culprits() {
-		if !e.isBad[s] {
-			e.res.Faulted = append(e.res.Faulted, s)
-		}
-	}
-	e.correctSends = make([][]msg.Send, n)
-	e.byzSends = make([][]msg.TargetedSend, n)
-	if cfg.Adversary != nil && len(e.corrupted) > 0 {
-		e.sendsView = make(map[int][]msg.Send, n)
-	}
-	if cfg.Interner != nil {
-		e.intern = cfg.Interner
-		e.intern.Reset()
-	} else {
-		e.intern = msg.NewPooledInterner()
-		e.ownIntern = true
-	}
-	record := cfg.RecordTraffic || e.observer != nil
-	e.router = NewRouter(&e.cfg, e.isBad, &e.res.Stats, e.intern, record, e.inj)
-	return e, nil
-}
-
-func (e *engine) run() (*Result, error) {
-	// Release processes and recycle the pooled interner on every exit
-	// path, including an invariant abort mid-execution.
-	defer func() {
-		for _, p := range e.procs {
-			if r, ok := p.(Releaser); ok {
-				r.Release()
-			}
-		}
-		if e.ownIntern {
-			e.intern.Recycle()
-			e.intern = nil
-		}
-	}()
-	var deadline time.Time
-	if e.cfg.Deadline > 0 {
-		deadline = time.Now().Add(e.cfg.Deadline)
-	}
-	decidedRemaining := -1 // countdown once everyone decided
-	for round := 1; round <= e.cfg.MaxRounds; round++ {
-		e.res.Rounds = round
-		if err := e.step(round); err != nil {
-			return nil, err
-		}
-		if e.cfg.MaxSends > 0 && e.router.TotalStamped() >= e.cfg.MaxSends {
-			e.res.Stopped = StopMessageBudget
-			break
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			e.res.Stopped = StopDeadline
-			break
-		}
-		if e.allCorrectDecided() {
-			if decidedRemaining < 0 {
-				decidedRemaining = e.cfg.ExtraRounds
-			}
-			if decidedRemaining == 0 {
-				break
-			}
-			decidedRemaining--
-		}
-	}
-	e.res.AllDecided = e.allCorrectDecided()
-	return e.res, nil
-}
-
-func (e *engine) allCorrectDecided() bool {
-	for s := 0; s < e.n; s++ {
-		if !e.isBad[s] && e.decidedAt[s] == 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// step executes one round: collect correct sends, ask the adversary for
-// Byzantine sends, deliver, and advance every correct process. All round
-// state lives in engine-owned scratch reused across rounds. A correct
-// slot inside a crash window takes no step this round — no Prepare, no
-// Receive, no Decision poll — and rejoins with its pre-crash protocol
-// state when (and if) the window ends, per the crash-recovery model.
-func (e *engine) step(round int) error {
-	// Phase 1: correct sends.
-	for s := 0; s < e.n; s++ {
-		e.correctSends[s] = nil
-		if e.isBad[s] || e.inj.Down(s, round) {
-			continue
-		}
-		e.correctSends[s] = e.procs[s].Prepare(round)
-	}
-
-	// Phase 2: Byzantine sends (rushing: the adversary sees phase 1).
-	if e.cfg.Adversary != nil && len(e.corrupted) > 0 {
-		clear(e.sendsView)
-		for s := 0; s < e.n; s++ {
-			if len(e.correctSends[s]) > 0 {
-				e.sendsView[s] = e.correctSends[s]
-			}
-		}
-		e.view = View{
-			Params:       e.cfg.Params,
-			Assignment:   e.res.Assignment,
-			Inputs:       e.res.Inputs,
-			Round:        round,
-			CorrectSends: e.sendsView,
-		}
-		for _, s := range e.corrupted {
-			e.byzSends[s] = e.cfg.Adversary.Sends(round, s, &e.view)
-		}
-	}
-
-	// Phase 3: stamp, batch, deliver — shared with the concurrent engine
-	// (see Router). Each send is stamped (and its key interned) exactly
-	// once into the round's SoA send arena; routing then moves only int32
-	// arena indices, so the n^2 delivery fan-out never copies
-	// pointer-laden Message structs, and under batched delivery each
-	// recipient's round is one masked index-slice copy.
-	e.router.BeginRound(round)
-	for from := 0; from < e.n; from++ {
-		if e.isBad[from] {
-			continue
-		}
-		e.router.RouteCorrect(from, e.correctSends[from])
-	}
-	for _, from := range e.corrupted {
-		e.router.RouteByzantine(from, e.byzSends[from])
-		e.byzSends[from] = nil
-	}
-	e.router.Flush()
-
-	// Phase 4: reception and state transitions. Inboxes come from the
-	// shared pool and go straight back once Receive returns (processes must
-	// not retain them — see the Process contract).
-	for to := 0; to < e.n; to++ {
-		if e.isBad[to] {
-			continue
-		}
-		in := e.router.Inbox(to)
-		if e.inj.Down(to, round) {
-			// A crashed process takes no step, but its inbox is still
-			// drawn (and discarded — the router suppressed everything
-			// sent to it anyway) so shared-class reference counts drain
-			// exactly as in a fault-free round.
-			in.Recycle()
-			continue
-		}
-		e.procs[to].Receive(round, in)
-		in.Recycle()
-		if e.decidedAt[to] == 0 {
-			if v, ok := e.procs[to].Decision(); ok {
-				e.decisions[to] = v
-				e.decidedAt[to] = round
-			}
-		}
-	}
-
-	if e.cfg.RecordTraffic {
-		e.res.Traffic = append(e.res.Traffic, e.router.Deliveries()...)
-	}
-	if e.observer != nil {
-		e.observer.Observe(round, e.router.Deliveries())
-	}
-	if e.cfg.Invariants {
-		return e.router.VerifyRound()
-	}
-	return nil
+	return engine.Run(engine.FromConfig(cfg))
 }

@@ -65,7 +65,7 @@ type selPayload struct {
 }
 
 func (p selPayload) BuildKey(kb *msg.KeyBuilder) {
-	kb.Reset("sel").Int(p.phase).Str(p.state.Key())
+	kb.Reset("sel").Int(p.phase).Nested(p.state)
 }
 
 func (p selPayload) Key() string { return msg.ScratchKey(p) }
@@ -89,7 +89,7 @@ type runPayload struct {
 }
 
 func (p runPayload) BuildKey(kb *msg.KeyBuilder) {
-	kb.Reset("run").Int(p.phase).Str(p.body.Key())
+	kb.Reset("run").Int(p.phase).Nested(p.body)
 }
 
 func (p runPayload) Key() string { return msg.ScratchKey(p) }
