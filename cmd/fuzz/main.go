@@ -44,22 +44,24 @@ func main() {
 		harvestMax = flag.Int("harvest-max", 3, "how many expected violations to harvest")
 		replay     = flag.String("replay", "", "replay every *.json seed in this directory instead of fuzzing")
 		invariants = flag.Bool("invariants", false, "run every scenario with the engines' per-round internal checks (paranoid mode)")
+		timemodel  = flag.String("timemodel", "", "force a time model onto lockstep scenarios (e.g. esync; scenarios naming their own model keep it)")
 		quiet      = flag.Bool("q", false, "print only the digest line and failures")
 	)
 	flag.Parse()
 
 	if *replay != "" {
-		os.Exit(replayDir(*replay, *invariants))
+		os.Exit(replayDir(*replay, fuzz.Options{Invariants: *invariants, ForceTimeModel: *timemodel}))
 	}
 
 	cfg := fuzz.Config{
-		Seed:         *seed,
-		Count:        *count,
-		Workers:      *workers,
-		Gen:          fuzz.GenOptions{MaxN: *maxN},
-		Shrink:       *shrink,
-		KeepExpected: *harvestMax,
-		Invariants:   *invariants,
+		Seed:           *seed,
+		Count:          *count,
+		Workers:        *workers,
+		Gen:            fuzz.GenOptions{MaxN: *maxN},
+		Shrink:         *shrink,
+		KeepExpected:   *harvestMax,
+		Invariants:     *invariants,
+		ForceTimeModel: *timemodel,
 	}
 	if *protocols != "" {
 		cfg.Gen.Protocols = strings.Split(*protocols, ",")
@@ -121,9 +123,15 @@ func writeSeeds(dir, prefix string, found []fuzz.Found) int {
 	return 0
 }
 
-// replayDir replays a seed corpus and reports mismatches.
-func replayDir(dir string, invariants bool) int {
-	replayed, errs := fuzz.ReplayDirOpts(dir, fuzz.Options{Invariants: invariants})
+// replayDir replays a seed corpus and reports mismatches. Seeds whose
+// execution ended on a budget stop surface their reason — a seed pinning
+// graceful degradation (Expect.Stopped) should say so in the output.
+func replayDir(dir string, opts fuzz.Options) int {
+	replayed, errs := fuzz.ReplayDirVisit(dir, opts, func(name string, o *fuzz.Outcome, err error) {
+		if err == nil && o.Stopped != "" {
+			fmt.Printf("seed %s: stopped early (%s) after %d rounds\n", name, o.Stopped, o.Rounds)
+		}
+	})
 	for _, err := range errs {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 	}

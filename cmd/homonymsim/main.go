@@ -42,6 +42,7 @@ func run() error {
 		gst        = flag.Int("gst", 1, "first round with guaranteed delivery (psync)")
 		dropProb   = flag.Float64("drop", 0.5, "pre-GST drop probability (psync)")
 		seed       = flag.Int64("seed", 1, "determinism seed")
+		maxSends   = flag.Int("maxsends", 0, "message budget: stop the run once this many sends were stamped (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -121,6 +122,7 @@ func run() error {
 		Inputs:     inputs,
 		Adversary:  adv,
 		GST:        *gst,
+		MaxSends:   *maxSends,
 	})
 	if err != nil {
 		return err
@@ -143,6 +145,9 @@ func run() error {
 	}
 	fmt.Println(strings.Repeat("-", 60))
 	fmt.Printf("rounds: %d   latest decision: %d\n", res.Sim.Rounds, trace.LatestDecisionRound(res.Sim))
+	if res.Sim.Stopped != "" {
+		fmt.Printf("stopped early: %s (the execution budget ended the run before MaxRounds)\n", res.Sim.Stopped)
+	}
 	fmt.Printf("messages: sent %d, delivered %d, dropped %d, payload %d bytes\n",
 		res.Sim.Stats.MessagesSent, res.Sim.Stats.MessagesDelivered,
 		res.Sim.Stats.MessagesDropped, res.Sim.Stats.PayloadBytes)

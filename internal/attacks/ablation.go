@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"homonyms/internal/engine"
 	"homonyms/internal/hom"
 	"homonyms/internal/msg"
 	"homonyms/internal/psynchom"
@@ -65,7 +66,7 @@ func SplitLock(opts psynchom.Options, targetPhase, maxRounds int) (*SplitLockRep
 	}
 	adv := &splitLockAdversary{byzSlot: 0, targetPhase: targetPhase, n: p.N}
 	factory := psynchom.NewUnchecked(p, opts)
-	res, err := sim.Run(sim.Config{
+	res, err := engine.Run(engine.FromConfig(sim.Config{
 		Params:        p,
 		Assignment:    assignment,
 		Inputs:        inputs,
@@ -74,7 +75,7 @@ func SplitLock(opts psynchom.Options, targetPhase, maxRounds int) (*SplitLockRep
 		GST:           1,
 		MaxRounds:     maxRounds,
 		RecordTraffic: true,
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +193,7 @@ func RelayLatency(l int, opts psynchom.Options, maxRounds int) (*RelayLatencyRep
 		inputs[s] = hom.Value(s % 2)
 	}
 	factory := psynchom.NewUnchecked(p, opts)
-	res, err := sim.Run(sim.Config{
+	res, err := engine.Run(engine.FromConfig(sim.Config{
 		Params:     p,
 		Assignment: assignment,
 		Inputs:     inputs,
@@ -200,7 +201,7 @@ func RelayLatency(l int, opts psynchom.Options, maxRounds int) (*RelayLatencyRep
 		Adversary:  &adversaryEquivLocks{byzSlot: 0, n: n, l: l},
 		GST:        1,
 		MaxRounds:  maxRounds,
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}

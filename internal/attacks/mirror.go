@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"homonyms/internal/engine"
 	"homonyms/internal/hom"
 	"homonyms/internal/msg"
 	"homonyms/internal/sim"
@@ -91,7 +92,7 @@ func Mirror(p hom.Params, factory func(slot int) sim.Process, assignment hom.Ass
 			twinID:    assignment[flippedSlot],
 			byID:      twinByID,
 		}
-		return sim.Run(sim.Config{
+		return engine.Run(engine.FromConfig(sim.Config{
 			Params:     p,
 			Assignment: assignment,
 			Inputs:     inputs,
@@ -99,7 +100,7 @@ func Mirror(p hom.Params, factory func(slot int) sim.Process, assignment hom.Ass
 			Adversary:  adv,
 			GST:        1, // fully synchronous delivery: the lemma needs no drops
 			MaxRounds:  maxRounds,
-		})
+		}))
 	}
 
 	resC, err := runOnce(inputC, inputCPrime)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"homonyms/internal/engine"
 	"homonyms/internal/hom"
 	"homonyms/internal/msg"
 	"homonyms/internal/sim"
@@ -152,7 +153,7 @@ func Partition(p hom.Params, factory func(slot int) sim.Process, maxRounds int) 
 		alphaTrace: alphaTrace,
 		betaTrace:  betaTrace,
 	}
-	res, err := sim.Run(sim.Config{
+	res, err := engine.Run(engine.FromConfig(sim.Config{
 		Params:     p,
 		Assignment: gammaIDs,
 		Inputs:     inputs,
@@ -160,7 +161,7 @@ func Partition(p hom.Params, factory func(slot int) sim.Process, maxRounds int) 
 		Adversary:  adv,
 		GST:        maxRounds + 1, // drops allowed for the whole run
 		MaxRounds:  maxRounds,
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}

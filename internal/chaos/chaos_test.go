@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+
+	"homonyms/internal/fuzz"
+)
+
+// TestSoakDeterministicAcrossWorkers pins the soak's core promise: the
+// report — digest and rendered text — is byte-identical across worker
+// counts, even though every composition exercises held deliveries,
+// retransmission and budget stops.
+func TestSoakDeterministicAcrossWorkers(t *testing.T) {
+	cfg := Config{Seed: 20260807, Count: 40, Gen: fuzz.GenOptions{MaxN: 6}, Invariants: true}
+	cfg.Workers = 1
+	r1, err := Soak(cfg)
+	if err != nil {
+		t.Fatalf("soak w1: %v", err)
+	}
+	cfg.Workers = 4
+	r4, err := Soak(cfg)
+	if err != nil {
+		t.Fatalf("soak w4: %v", err)
+	}
+	if r1.Digest != r4.Digest {
+		t.Fatalf("soak digest differs across worker counts: w1=%s w4=%s", r1.Digest, r4.Digest)
+	}
+	if r1.Format() != r4.Format() {
+		t.Fatalf("soak report differs across worker counts:\n--- w1 ---\n%s--- w4 ---\n%s", r1.Format(), r4.Format())
+	}
+}
+
+// TestSoakCleanUnderInvariants is the smoke soak: a seeded batch with
+// paranoid invariants must finish with no real violations, no panics and
+// no harness errors — and must actually exercise the timing machinery.
+func TestSoakCleanUnderInvariants(t *testing.T) {
+	rep, err := Soak(Config{Seed: 7, Count: 60, Gen: fuzz.GenOptions{MaxN: 7}, Invariants: true})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("soak not clean:\n%s", rep.Format())
+	}
+	if rep.Timed != rep.Count {
+		t.Errorf("every chaos composition must carry timing faults, got %d/%d", rep.Timed, rep.Count)
+	}
+}
+
+// TestChaosifyAlwaysTimes pins the overlay invariants: esync model,
+// non-nil schedule with at least one timing fault, knobs in range.
+func TestChaosifyAlwaysTimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		sc := Chaosify(rng, fuzz.Generate(rng, fuzz.GenOptions{MaxN: 8}))
+		if sc.TimeModel != "esync" {
+			t.Fatalf("composition %d: time model %q", i, sc.TimeModel)
+		}
+		if !sc.Faults.HasTiming() {
+			t.Fatalf("composition %d: no timing faults", i)
+		}
+		if sc.Bound < 0 || sc.Timeout < 0 || sc.MaxAttempts < 0 || sc.MaxSends < 0 {
+			t.Fatalf("composition %d: knob out of range: %+v", i, sc)
+		}
+	}
+}

@@ -138,6 +138,11 @@ type Config struct {
 	// Invariants enables the engine's paranoid per-round self-checks
 	// (sim.Config.Invariants).
 	Invariants bool
+	// MaxSends caps the execution's cumulative stamped sends; when the
+	// budget is hit the run ends after the current round with
+	// Result.Sim.Stopped = engine.StopMessageBudget instead of running
+	// to MaxRounds. 0 = unlimited.
+	MaxSends int
 }
 
 // Result reports one façade execution.
@@ -190,6 +195,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Invariants {
 		opts = append(opts, engine.WithInvariants())
+	}
+	if cfg.MaxSends > 0 {
+		opts = append(opts, engine.WithBudget(cfg.MaxSends, 0))
 	}
 	res, err := engine.Run(opts...)
 	if err != nil {

@@ -37,9 +37,11 @@
 // Two seams parameterize the kernel beyond the routing strategy:
 //
 //   - TimeModel owns the outer execution loop. Lockstep (the paper's
-//     round-by-round model) is the only implementation today; the seam is
-//     where eventually-synchronous round skew and event-driven scheduling
-//     plug in without forking the kernel.
+//     round-by-round model) is the default; EventuallySynchronous layers
+//     per-link delay/reorder faults, per-process round-clock stalls
+//     (skew, bounded after GST) and timeout-driven retransmission with
+//     exponential backoff on top of the same loop, holding in-flight
+//     messages in a deterministic pending queue.
 //   - StateRep owns how correct-process state is held and stepped.
 //     Concrete (one state machine per slot, stepped in place) and
 //     ConcurrentConcrete (one goroutine per slot, the former package
@@ -286,6 +288,13 @@ type Config struct {
 	// *InvariantError on the first violation. Cheap enough for fuzz
 	// campaigns; off by default.
 	Invariants bool
+	// TimeModel optionally selects the execution's time model from a
+	// hand-built Config; nil means Lockstep. WithTimeModel overrides it.
+	// Carried on Config so the deprecated sim.Run / runtime.Run adapters
+	// (and fuzz scenarios replayed through them) can drive
+	// eventually-synchronous executions without touching the options
+	// layer.
+	TimeModel TimeModel
 }
 
 // Releaser is an optional Process extension: after an execution finishes,
@@ -310,6 +319,13 @@ var (
 	ErrNoRoundCap        = errors.New("engine: MaxRounds must be positive")
 	ErrTooManyCorrupt    = errors.New("engine: adversary corrupted more than T slots")
 	ErrCorruptRange      = errors.New("engine: adversary corrupted an out-of-range or duplicate slot")
+	// ErrTimingFaults: the fault schedule contains delay/reorder/stall
+	// faults but the selected time model grants no timing capability
+	// (see TimingModel); run them under EventuallySynchronous.
+	ErrTimingFaults = errors.New("engine: delay/reorder/stall faults require a timing-capable time model")
+	// ErrTimingPolicy: a timing-capable time model was built with a
+	// negative Bound, Timeout or MaxAttempts.
+	ErrTimingPolicy = errors.New("engine: timing policy knobs must be non-negative")
 )
 
 // Stats aggregates execution costs.
@@ -330,6 +346,16 @@ type Stats struct {
 	// FaultOmissions counts deliveries suppressed by the fault injector
 	// (messages to crashed recipients and omission-fault losses).
 	FaultOmissions int
+	// TimingHolds counts (send, recipient) deliveries held in the
+	// pending queue by a timing fault (delay, reorder, or a stalled
+	// recipient) under the eventually-synchronous time model. Each held
+	// delivery is counted once, at hold time; its eventual delivery
+	// counts in MessagesSent/MessagesDelivered at the due round.
+	TimingHolds int
+	// Retransmits counts sender timeout retransmissions fired for held
+	// deliveries. Each one is a real transmission: it also counts
+	// against Config.MaxSends.
+	Retransmits int
 }
 
 // StopReason explains why an execution budget ended a run early; empty
@@ -520,8 +546,22 @@ func newEngine(cfg Config, tm TimeModel, rep StateRep) (*Engine, error) {
 		e.intern = msg.NewPooledInterner()
 		e.ownIntern = true
 	}
+	var policy TimingPolicy
+	if tmodel, ok := tm.(TimingModel); ok {
+		policy = tmodel.Timing()
+	}
+	if policy.Enabled && (policy.Bound < 0 || policy.Timeout < 0 || policy.MaxAttempts < 0) {
+		return nil, fmt.Errorf("%w (bound=%d, timeout=%d, maxattempts=%d)",
+			ErrTimingPolicy, policy.Bound, policy.Timeout, policy.MaxAttempts)
+	}
+	if inj.HasTiming() && !policy.Enabled {
+		return nil, fmt.Errorf("%w (model %q)", ErrTimingFaults, tm.Describe())
+	}
 	record := cfg.RecordTraffic || e.observer != nil
 	e.router = NewRouter(&e.cfg, e.isBad, &e.res.Stats, e.intern, record, e.inj)
+	if policy.Enabled {
+		e.router.EnableTiming(policy)
+	}
 	return e, nil
 }
 
@@ -588,6 +628,9 @@ func (e *Engine) Exhausted() bool {
 // slot inside a crash window takes no step this round — no Prepare, no
 // Receive, no Decision poll — and rejoins with its pre-crash protocol
 // state when (and if) the window ends, per the crash-recovery model.
+// A stalled slot (eventually-synchronous skew) is treated the same on
+// the stepping side, but its inbound messages are held rather than
+// lost and surface when it wakes.
 func (e *Engine) Step(round int) error {
 	e.res.Rounds = round
 
@@ -666,6 +709,22 @@ func (e *Engine) IsBad(slot int) bool { return e.isBad[slot] }
 // Crashed reports whether the slot is inside an injected crash window
 // for the given round (it must take no step).
 func (e *Engine) Crashed(slot, round int) bool { return e.inj.Down(slot, round) }
+
+// Stalled reports whether a timing fault freezes the slot's round clock
+// in the given round (eventually-synchronous model only; stalls are
+// clamped to end by GST — bounded skew after stabilisation).
+func (e *Engine) Stalled(slot, round int) bool { return e.router.SlotStalled(slot, round) }
+
+// Halted reports whether the slot takes no step this round: crashed or
+// stalled. The two differ on the delivery side — a crashed recipient
+// loses the round's inbound messages, a stalled one has them held by
+// the router and delivered when it wakes — but both skip
+// Prepare/Receive/Decision, and state representations must still draw
+// (and discard) the slot's inbox so shared-class reference counts
+// drain as in a normal round.
+func (e *Engine) Halted(slot, round int) bool {
+	return e.Crashed(slot, round) || e.Stalled(slot, round)
+}
 
 // Process returns the correct process at the slot (nil when corrupted).
 func (e *Engine) Process(slot int) Process { return e.procs[slot] }

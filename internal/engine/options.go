@@ -74,7 +74,13 @@ func New(opts ...Option) (*Engine, error) {
 		return nil, errors.Join(s.errs...)
 	}
 	if s.tm == nil {
-		s.tm = Lockstep{}
+		// The Config carrier may name a time model (the adapters' path
+		// to eventually-synchronous executions); WithTimeModel wins.
+		if s.cfg.TimeModel != nil {
+			s.tm = s.cfg.TimeModel
+		} else {
+			s.tm = Lockstep{}
+		}
 	}
 	if s.rep == nil {
 		s.rep = Concrete()

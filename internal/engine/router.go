@@ -132,6 +132,20 @@ type Router struct {
 	anyDown    bool   // some slot is crashed this round
 	downNow    []bool // per slot: crashed this round
 
+	// Eventually-synchronous timing machinery (TimingPolicy granted by
+	// the time model): held deliveries cross rounds in the pending
+	// queue, and sender timeout retransmissions fire from it with
+	// exponential backoff. All of it runs on the engine's coordinating
+	// goroutine, identically under both delivery modes and both state
+	// representations.
+	timing      bool // timing machinery live (EnableTiming)
+	esBound     int  // max post-stabilisation delivery delay in rounds
+	esTimeout   int  // first retransmit after this many rounds; 0 = off
+	esMaxRetry  int  // retransmit attempts cap; 0 = unlimited
+	pq          msg.PendingQueue
+	timingFault bool // the schedule contains delay/reorder/stall faults
+	draining    bool // routing drained (due) entries: skip hold checks
+
 	// Paranoid-mode invariant accounting (Config.Invariants): inboxes
 	// issued per slot and shared views issued per class representative,
 	// reset each round and checked by VerifyRound.
@@ -237,6 +251,28 @@ func NewRouter(cfg *Config, isBad []bool, stats *Stats, intern *msg.Interner, re
 	return r
 }
 
+// EnableTiming arms the eventually-synchronous timing machinery with
+// the time model's policy. Called once, before round 1. With no timing
+// faults in the schedule the hold checks stay off the routing path
+// entirely, which is what makes a zero-knob eventually-synchronous
+// execution byte-identical to a lockstep one.
+func (r *Router) EnableTiming(p TimingPolicy) {
+	r.timing = true
+	r.esBound = p.Bound
+	r.esTimeout = p.Timeout
+	r.esMaxRetry = p.MaxAttempts
+	r.timingFault = r.inj.HasTiming()
+	r.pq.Reset()
+}
+
+// SlotStalled reports whether a stall fault freezes the slot's round
+// clock in the given round. Stalls are clamped to rounds before GST —
+// the model's bounded-skew-after-stabilisation guarantee — and never
+// apply to corrupted slots (the adversary is not a clock).
+func (r *Router) SlotStalled(slot, round int) bool {
+	return r.timing && round < r.gst && !r.isBad[slot] && r.inj.Stalled(slot, round)
+}
+
 // BeginRound resets the round scratch. Arena indices, inboxes and shared
 // inbox views from the previous round become invalid.
 func (r *Router) BeginRound(round int) {
@@ -302,7 +338,10 @@ func (r *Router) TotalStamped() int { return r.totalStamped }
 // per-message mode, bucketed for Flush in batched mode. When a replay
 // fault needs this round's (from, to) traffic, the body is retained at
 // routing time — before any mask, like a network capturing a message in
-// flight — identically in both modes.
+// flight — identically in both modes. Under the eventually-synchronous
+// model a timing fault may intercept the pair here — before the
+// per-message/batched split, so both modes hold identically — and park
+// it in the pending queue until its due round.
 func (r *Router) route(from, to int, si int32) {
 	if r.hasReplays && r.injRound && r.inj.NeedRetain(from, r.round) {
 		for i := range r.replays {
@@ -312,11 +351,136 @@ func (r *Router) route(from, to int, si int32) {
 			}
 		}
 	}
+	if r.timingFault && !r.draining {
+		if due, held := r.holdDue(from, to); held {
+			r.hold(from, to, si, due)
+			return
+		}
+	}
 	if r.perMsg {
 		r.deliverNow(from, to, si)
 		return
 	}
 	r.pend[to] = append(r.pend[to], si)
+}
+
+// holdDue decides whether a timing fault holds a (from, to) delivery
+// routed this round, and until which round. The due round composes the
+// link's delay faults with the recipient's stall windows:
+//
+//   - a delay of By rounds surfaces at round+By, clamped so every held
+//     message lands by max(GST, round) + Bound (By == 0 — "held until
+//     stabilisation" — goes straight to that clamp). After GST the
+//     clamp is the model's bounded-delay guarantee; with Bound 0 the
+//     stabilised network is fully synchronous and the faults are inert.
+//   - a stalled recipient cannot receive: the due round is pushed past
+//     its stall windows (bounded — stalls end by GST).
+//
+// Pure in (round, from, to) given the compiled schedule, so both
+// delivery modes and the retransmit path agree. Self-deliveries are
+// exempt (the injector's link queries already exclude them, and a
+// stalled slot sends nothing, so from == to never reaches the stall
+// push for correct slots).
+func (r *Router) holdDue(from, to int) (int, bool) {
+	round := r.round
+	by, held := r.inj.DelayBy(round, from, to)
+	due := round
+	if held {
+		stab := r.gst
+		if round > stab {
+			stab = round
+		}
+		latest := stab + r.esBound
+		if by == 0 || round+by > latest {
+			due = latest
+		} else {
+			due = round + by
+		}
+	}
+	for r.SlotStalled(to, due) {
+		due++
+	}
+	if due <= round {
+		return 0, false
+	}
+	return due, true
+}
+
+// hold parks one (send, recipient) pair in the pending queue until its
+// due round, capturing the body (the arena resets every round) and
+// arming the sender's retransmit timer. The recipient is marked dirty
+// like a Byzantine-targeted one: its batch diverged from its group's.
+func (r *Router) hold(from, to int, si int32, due int) {
+	var retry int32
+	if r.esTimeout > 0 {
+		retry = int32(r.round + r.esTimeout)
+	}
+	r.pq.Hold(msg.PendingEntry{
+		From:      int32(from),
+		To:        int32(to),
+		Body:      r.arena.Body(si),
+		SentRound: int32(r.round),
+		Due:       int32(due),
+		NextRetry: retry,
+	})
+	r.dirty[to] = true
+	r.stats.TimingHolds++
+}
+
+// pumpPending advances the timing machinery at the end of a round's
+// routing (from Flush, after replays, before the batched flush): fire
+// the retransmit timers due this round, then drain and deliver every
+// entry whose due round arrived. Drained bodies are stamped after the
+// round's fresh sends and replays, so held copies always sort behind
+// current traffic — in both delivery modes, since stamping order is
+// delivery-record order.
+func (r *Router) pumpPending() {
+	round := int32(r.round)
+	if r.esTimeout > 0 {
+		for i := 0; i < r.pq.Len(); i++ {
+			e := r.pq.At(i)
+			if e.NextRetry != round || e.Due <= round {
+				continue
+			}
+			// The sender has waited Timeout·2^Attempt rounds without
+			// delivery: retransmit. The fresh copy takes the link's
+			// conditions at the retry round — if the delay window has
+			// closed it arrives now — and the earliest copy wins
+			// (at-most-once delivery: the pending entry stays the one
+			// logical message).
+			e.Attempt++
+			r.stats.Retransmits++
+			r.totalStamped++ // a real transmission, against MaxSends
+			if r.esMaxRetry > 0 && int(e.Attempt) >= r.esMaxRetry {
+				e.NextRetry = 0
+			} else {
+				shift := uint(e.Attempt)
+				if shift > 20 {
+					shift = 20 // clamp the backoff gap, not the budget
+				}
+				e.NextRetry = round + int32(r.esTimeout)<<shift
+			}
+			due, held := r.holdDue(int(e.From), int(e.To))
+			if !held {
+				due = r.round
+			}
+			if int32(due) < e.Due {
+				e.Due = int32(due)
+			}
+		}
+	}
+	r.draining = true
+	for i := 0; i < r.pq.Len(); i++ {
+		e := r.pq.At(i)
+		if e.Due != round {
+			continue
+		}
+		si := r.stamp(int(e.From), e.Body)
+		r.dirty[e.To] = true
+		r.route(int(e.From), int(e.To), si)
+	}
+	r.draining = false
+	r.pq.Drop(round)
 }
 
 // deliverNow is the per-message reference hook, semantically identical to
@@ -543,6 +707,9 @@ func (r *Router) flushOwn(to int) {
 func (r *Router) Flush() {
 	if r.hasReplays && r.injRound {
 		r.injectReplays()
+	}
+	if r.timing && r.pq.Len() > 0 {
+		r.pumpPending()
 	}
 	if r.perMsg {
 		return
@@ -813,6 +980,19 @@ func (r *Router) VerifyRound() error {
 				Round: r.round, Check: "inbox-issued",
 				Detail: fmt.Sprintf("slot %d (bad=%v) took %d inboxes, want %d",
 					to, r.isBad[to], r.issued[to], want),
+			}
+		}
+	}
+	if r.timing {
+		// Every live pending entry must still be in the future: an entry
+		// at or before the current round was missed by the drain.
+		for i := 0; i < r.pq.Len(); i++ {
+			if e := r.pq.At(i); e.Due <= int32(r.round) {
+				return &InvariantError{
+					Round: r.round, Check: "pending-overdue",
+					Detail: fmt.Sprintf("held delivery %d->%d (sent round %d) still queued with due %d",
+						e.From, e.To, e.SentRound, e.Due),
+				}
 			}
 		}
 	}

@@ -60,7 +60,7 @@ func (r *concreteRep) PrepareRound(round int) {
 	e := r.e
 	for s := 0; s < e.N(); s++ {
 		e.SetSends(s, nil)
-		if e.IsBad(s) || e.Crashed(s, round) {
+		if e.IsBad(s) || e.Halted(s, round) {
 			continue
 		}
 		e.SetSends(s, e.Process(s).Prepare(round))
@@ -74,11 +74,11 @@ func (r *concreteRep) DeliverRound(round int) {
 			continue
 		}
 		in := e.Router().Inbox(to)
-		if e.Crashed(to, round) {
-			// A crashed process takes no step, but its inbox is still
-			// drawn (and discarded — the router suppressed everything
-			// sent to it anyway) so shared-class reference counts drain
-			// exactly as in a fault-free round.
+		if e.Halted(to, round) {
+			// A crashed or stalled process takes no step, but its inbox
+			// is still drawn (and discarded — the router suppressed or
+			// held everything sent to it anyway) so shared-class
+			// reference counts drain exactly as in a fault-free round.
 			in.Recycle()
 			continue
 		}
@@ -207,12 +207,12 @@ func (r *concurrentRep) Start(e *Engine) error {
 func (r *concurrentRep) PrepareRound(round int) {
 	e := r.e
 	// Fan out prepare requests, gather sends. A worker whose slot is
-	// inside a crash window gets no request this round — it stays parked
-	// on its prepare channel, holding its pre-crash protocol state, and
-	// resumes when the window ends.
+	// inside a crash or stall window gets no request this round — it
+	// stays parked on its prepare channel, holding its protocol state,
+	// and resumes when the window ends.
 	r.up = 0
 	for _, w := range r.workers {
-		if w != nil && !e.Crashed(w.slot, round) {
+		if w != nil && !e.Halted(w.slot, round) {
 			w.prepare <- prepareReq{round: round}
 			r.up++
 		}
@@ -236,10 +236,10 @@ func (r *concurrentRep) DeliverRound(round int) {
 	for _, w := range r.workers {
 		if w != nil {
 			in := e.Router().Inbox(w.slot)
-			if e.Crashed(w.slot, round) {
-				// Crashed this round: the inbox is still drawn (and
-				// discarded) so shared-class reference counts drain, but
-				// the parked worker takes no step.
+			if e.Halted(w.slot, round) {
+				// Crashed or stalled this round: the inbox is still
+				// drawn (and discarded) so shared-class reference counts
+				// drain, but the parked worker takes no step.
 				in.Recycle()
 				continue
 			}

@@ -1,20 +1,22 @@
 package engine
 
+import "fmt"
+
 // TimeModel owns the outer execution loop: when rounds begin, how many
 // run, and when the execution ends. The kernel hands it an Engine whose
 // Step method executes one full round (prepare → adversary → route →
 // deliver → check); everything between Step calls — pacing, budgets,
 // termination — is the model's to decide.
 //
-// Lockstep is the only implementation today and realises the paper's
-// synchronous and partially synchronous models (the latter differs only
-// in the Router's pre-GST drop window, not in the loop shape). The seam
-// exists for the execution models the roadmap names next: an
-// eventually-synchronous model where per-process round skew is bounded
-// only after GST, and an event-driven model where Step dissolves into
-// per-delivery scheduling. Implementations must be deterministic: any
-// randomness or wall-clock dependence belongs in explicitly
-// non-deterministic knobs (Config.Deadline), never in Drive.
+// Two implementations exist: Lockstep realises the paper's synchronous
+// and partially synchronous models (the latter differs only in the
+// Router's pre-GST drop window, not in the loop shape), and
+// EventuallySynchronous adds the timing dimension — per-link message
+// delay/reorder and per-process round-clock stalls, held in the
+// engine's pending queue and bounded after GST — via the TimingModel
+// capability. Implementations must be deterministic: any randomness or
+// wall-clock dependence belongs in explicitly non-deterministic knobs
+// (Config.Deadline), never in Drive.
 type TimeModel interface {
 	// Describe names the model for diagnostics.
 	Describe() string
@@ -52,4 +54,85 @@ func (Lockstep) Drive(e *Engine) error {
 		}
 	}
 	return nil
+}
+
+// TimingPolicy is what a timing-capable time model grants the engine:
+// whether the timing machinery (pending queue, stalls, retransmission)
+// is live, how long a delivery may stay in flight once the execution
+// has stabilised, and the sender-side retransmit rules. The zero
+// policy — Enabled false — is the lockstep world: the engine rejects
+// schedules containing timing faults under it.
+type TimingPolicy struct {
+	// Enabled turns the timing machinery on.
+	Enabled bool
+	// Bound is the maximum delivery delay, in rounds, once the execution
+	// has stabilised: every held message surfaces by max(GST, send
+	// round) + Bound. With Bound 0 the post-GST network is fully
+	// synchronous and pre-GST holds drain exactly at GST.
+	Bound int
+	// Timeout, when positive, arms a retransmit timer on every held
+	// delivery: the sender retransmits a copy after Timeout rounds
+	// without delivery, then backs off exponentially (gaps Timeout,
+	// 2·Timeout, 4·Timeout, ...). Each retransmission is a real
+	// transmission — it counts against Config.MaxSends and in
+	// Stats.Retransmits — and its copy takes the link's conditions at
+	// the retry round, so a retry after a delay window closes arrives
+	// immediately. Zero disables retransmission.
+	Timeout int
+	// MaxAttempts caps retransmissions per held delivery; 0 = unlimited
+	// (the send budget is the backstop).
+	MaxAttempts int
+}
+
+// TimingModel is the capability interface a TimeModel implements to
+// enable the engine's timing machinery. Schedules with delay, reorder
+// or stall faults require a model with Timing().Enabled; New rejects
+// them otherwise.
+type TimingModel interface {
+	TimeModel
+	Timing() TimingPolicy
+}
+
+// EventuallySynchronous is the eventually-synchronous timing model (the
+// "basic" partial-synchrony model of Dwork, Lynch and Stockmeyer, now
+// with real timing): before GST the adversary's fault schedule may
+// delay or reorder link deliveries arbitrarily and stall per-process
+// round clocks (skew); from GST on every stall has ended and every
+// delivery — held or fresh — surfaces within Bound rounds. The round
+// loop itself stays lockstep (rounds are the time base the skew and
+// delay faults are expressed in), so with a zero policy and no timing
+// faults an execution is byte-identical to Lockstep — pinned over the
+// whole committed fuzz corpus by the time-model parity suite.
+type EventuallySynchronous struct {
+	// Bound, Timeout and MaxAttempts are the TimingPolicy knobs; see
+	// that type. The zero value is a sound model: synchronous delivery
+	// after GST, no retransmission.
+	Bound       int
+	Timeout     int
+	MaxAttempts int
+}
+
+// Describe implements TimeModel. The rendering includes the knobs so
+// the options layer detects conflicting re-registrations.
+func (m EventuallySynchronous) Describe() string {
+	return fmt.Sprintf("eventually-synchronous(bound=%d,timeout=%d,maxattempts=%d)",
+		m.Bound, m.Timeout, m.MaxAttempts)
+}
+
+// Timing implements TimingModel.
+func (m EventuallySynchronous) Timing() TimingPolicy {
+	return TimingPolicy{
+		Enabled:     true,
+		Bound:       m.Bound,
+		Timeout:     m.Timeout,
+		MaxAttempts: m.MaxAttempts,
+	}
+}
+
+// Drive implements TimeModel. The loop is exactly Lockstep's — rounds
+// are the shared time base; skew, delay and retransmission live in the
+// router's pending machinery — which is what makes the zero-knob
+// parity anchor hold by construction.
+func (m EventuallySynchronous) Drive(e *Engine) error {
+	return Lockstep{}.Drive(e)
 }

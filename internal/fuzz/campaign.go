@@ -33,6 +33,9 @@ type Config struct {
 	// internal checks enabled (Options.Invariants) — the CI hardening
 	// mode. An invariant failure surfaces as a harness error.
 	Invariants bool
+	// ForceTimeModel overrides the time model of every lockstep
+	// scenario the campaign runs (see Options.ForceTimeModel).
+	ForceTimeModel string
 }
 
 // Found is one recorded scenario with its outcome and, when shrinking
@@ -91,7 +94,7 @@ func Campaign(cfg Config) (*Report, error) {
 	if cfg.ShrinkBudget <= 0 {
 		cfg.ShrinkBudget = 200
 	}
-	opts := Options{Invariants: cfg.Invariants}
+	opts := Options{Invariants: cfg.Invariants, ForceTimeModel: cfg.ForceTimeModel}
 	outs, err := exec.MapN(cfg.Count, cfg.Workers, func(i int) (*Outcome, error) {
 		rng := rand.New(rand.NewSource(subSeed(cfg.Seed, i)))
 		return RunOpts(Generate(rng, cfg.Gen), opts), nil
@@ -201,6 +204,16 @@ func describe(sc Scenario) string {
 		s += fmt.Sprintf(" faults=%dc/%do/%dd/%dr",
 			len(sc.Faults.Crashes), len(sc.Faults.Omissions),
 			len(sc.Faults.Duplicates), len(sc.Faults.Replays))
+		if sc.Faults.HasTiming() {
+			s += fmt.Sprintf("/%ddel/%dreo/%dst",
+				len(sc.Faults.Delays), len(sc.Faults.Reorders), len(sc.Faults.Stalls))
+		}
+	}
+	if sc.TimeModel != "" && sc.TimeModel != "lockstep" {
+		s += fmt.Sprintf(" tm=%s(b=%d,to=%d,ma=%d)", sc.TimeModel, sc.Bound, sc.Timeout, sc.MaxAttempts)
+	}
+	if sc.MaxSends > 0 {
+		s += fmt.Sprintf(" maxsends=%d", sc.MaxSends)
 	}
 	return s
 }

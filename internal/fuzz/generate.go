@@ -138,6 +138,29 @@ func Generate(rng *rand.Rand, opts GenOptions) Scenario {
 	if rng.Intn(4) == 0 {
 		sc.Faults = sampleFaults(rng, sc.N)
 	}
+
+	// Eventually-synchronous timing dimension on about a fifth of
+	// scenarios: the esync time model, its policy knobs, delay/reorder/
+	// stall faults and (rarely) a message budget. These draws come after
+	// every older field — including the fault draw above — so the
+	// rng-stream prefix, and with it every lockstep scenario, is
+	// unchanged.
+	if rng.Intn(5) == 0 {
+		sc.TimeModel = "esync"
+		sc.Bound = rng.Intn(3)
+		if rng.Intn(2) == 0 {
+			sc.Timeout = 1 + rng.Intn(3)
+			if rng.Intn(2) == 0 {
+				sc.MaxAttempts = 1 + rng.Intn(3)
+			}
+		}
+		if rng.Intn(3) > 0 {
+			sc.Faults = sampleTimingFaults(rng, sc.N, sc.Faults)
+		}
+		if rng.Intn(6) == 0 {
+			sc.MaxSends = 64 * (1 + rng.Intn(32))
+		}
+	}
 	return sc
 }
 
@@ -196,6 +219,55 @@ func sampleFaults(rng *rand.Rand, n int) *inject.Schedule {
 		})
 	}
 	return &f
+}
+
+// sampleTimingFaults adds delay/reorder/stall timing faults to the
+// scenario's schedule (allocating one when it had none; the input
+// schedule is not mutated). Windows stay in the opening rounds where
+// they interleave with GST, the adversary and retransmission; a delay
+// with By == 0 holds its link until stabilisation — the sharpest
+// pre-GST schedule the model allows.
+func sampleTimingFaults(rng *rand.Rand, n int, base *inject.Schedule) *inject.Schedule {
+	f := &inject.Schedule{}
+	if base != nil {
+		g := *base
+		f = &g
+	}
+	if rng.Intn(3) > 0 {
+		k := 1 + rng.Intn(2)
+		for i := 0; i < k; i++ {
+			d := inject.Delay{FromSlot: rng.Intn(n), ToSlot: rng.Intn(n), From: 1 + rng.Intn(6)}
+			if rng.Intn(3) > 0 {
+				d.By = 1 + rng.Intn(4)
+			}
+			if rng.Intn(2) == 0 {
+				d.Until = d.From + rng.Intn(6)
+			}
+			if rng.Intn(3) == 0 {
+				d.Prob = 0.3 + 0.6*rng.Float64()
+				d.Seed = rng.Int63()
+			}
+			f.Delays = append(f.Delays, d)
+		}
+	}
+	if rng.Intn(3) == 0 {
+		f.Reorders = append(f.Reorders, inject.Reorder{
+			FromSlot: rng.Intn(n), ToSlot: rng.Intn(n), Round: 1 + rng.Intn(8),
+		})
+	}
+	if rng.Intn(3) == 0 {
+		f.Stalls = append(f.Stalls, inject.Stall{
+			Slot: rng.Intn(n), Round: 1 + rng.Intn(6), Rounds: 1 + rng.Intn(3),
+		})
+	}
+	if !f.HasTiming() {
+		// The branch that reaches here should inject something timed:
+		// fall back to a single bounded link delay.
+		f.Delays = append(f.Delays, inject.Delay{
+			FromSlot: rng.Intn(n), ToSlot: rng.Intn(n), From: 1 + rng.Intn(4), By: 1 + rng.Intn(3),
+		})
+	}
+	return f
 }
 
 // sampleShape draws (protocol, n, l, t, model flags) with two biases: t

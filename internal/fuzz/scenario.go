@@ -64,12 +64,29 @@ type Scenario struct {
 	Behavior BehaviorSpec `json:"behavior"`
 	Drops    DropSpec     `json:"drops"`
 	// Faults is an optional injected fault schedule for correct slots:
-	// crash/crash-recovery, send/receive omission, duplication, replay
-	// (see package inject). Faults compose with the Byzantine adversary
-	// above; Run decides whether the protocol's claims survive the
-	// schedule (Byzantine-simulable faults within the t budget) or are
-	// voided by it.
+	// crash/crash-recovery, send/receive omission, duplication, replay,
+	// and — under the "esync" time model — delay/reorder/stall timing
+	// faults (see package inject). Faults compose with the Byzantine
+	// adversary above; Run decides whether the protocol's claims survive
+	// the schedule (Byzantine-simulable faults within the t budget) or
+	// are voided by it.
 	Faults *inject.Schedule `json:"faults,omitempty"`
+	// TimeModel selects the execution's time model: "" or "lockstep"
+	// for the paper's round-by-round loop, "esync" for
+	// engine.EventuallySynchronous with the three knobs below. Timing
+	// faults in Faults require "esync".
+	TimeModel string `json:"time_model,omitempty"`
+	// Bound, Timeout and MaxAttempts are the esync timing-policy knobs
+	// (see engine.TimingPolicy): post-GST delivery bound, retransmit
+	// timeout (0 = no retransmission) and per-delivery attempts cap.
+	Bound       int `json:"bound,omitempty"`
+	Timeout     int `json:"timeout,omitempty"`
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// MaxSends caps the execution's cumulative stamped sends
+	// (engine.Config.MaxSends); the run stops with
+	// Result.Stopped = "message-budget" when it is reached. 0 =
+	// unlimited.
+	MaxSends int `json:"max_sends,omitempty"`
 }
 
 // SelectorSpec names the corruption selector: "none", "first", "random"
@@ -251,7 +268,7 @@ func (sc Scenario) Config() (sim.Config, error) {
 	if maxRounds <= 0 {
 		maxRounds = proto.Rounds(p, gst)
 	}
-	return sim.Config{
+	cfg := sim.Config{
 		Params:     p,
 		Assignment: a,
 		Inputs:     inputs,
@@ -260,7 +277,20 @@ func (sc Scenario) Config() (sim.Config, error) {
 		GST:        gst,
 		MaxRounds:  maxRounds,
 		Faults:     sc.Faults,
-	}, nil
+		MaxSends:   sc.MaxSends,
+	}
+	switch sc.TimeModel {
+	case "", "lockstep":
+	case "esync":
+		cfg.TimeModel = engine.EventuallySynchronous{
+			Bound:       sc.Bound,
+			Timeout:     sc.Timeout,
+			MaxAttempts: sc.MaxAttempts,
+		}
+	default:
+		return sim.Config{}, fmt.Errorf("fuzz: unknown time model %q", sc.TimeModel)
+	}
+	return cfg, nil
 }
 
 // Options assembles the scenario into options for the unified
@@ -314,6 +344,11 @@ type Outcome struct {
 	Detail string `json:"detail"`
 	// Rounds is the number of simulation rounds executed.
 	Rounds int `json:"rounds"`
+	// Stopped echoes engine.Result.Stopped: non-empty when an execution
+	// budget (message budget or deadline) ended the run early, in which
+	// case termination is not attributable to the protocol and the
+	// claim is narrowed.
+	Stopped string `json:"stopped,omitempty"`
 	// Digest is a stable hash of the scenario and everything observable
 	// about its execution; equal digests mean byte-identical runs.
 	Digest string `json:"digest"`
@@ -326,6 +361,14 @@ type Options struct {
 	// (sim.Config.Invariants): arena bounds, inbox issuance, group
 	// refcounts, equivalence-class byte-equality.
 	Invariants bool
+	// ForceTimeModel, when non-empty, overrides the time model of
+	// lockstep scenarios before execution (scenarios that already name a
+	// timing model keep their own, knobs included). "esync" is a
+	// behaviour-preserving override — the zero-knob eventually-
+	// synchronous model is byte-identical to lockstep (the parity
+	// anchor) — which is what lets CI replay the whole corpus under the
+	// new time model.
+	ForceTimeModel string
 }
 
 // Run executes one scenario and classifies the result with default
@@ -340,6 +383,9 @@ func Run(sc Scenario) *Outcome { return RunOpts(sc, Options{}) }
 // panic-value text is deterministic; the goroutine stack stays out of
 // the digest.
 func RunOpts(sc Scenario, opts Options) *Outcome {
+	if opts.ForceTimeModel != "" && (sc.TimeModel == "" || sc.TimeModel == "lockstep") {
+		sc.TimeModel = opts.ForceTimeModel
+	}
 	out, err := exec.Protect(0, func() (*Outcome, error) { return run(sc, opts), nil })
 	if err != nil {
 		o := &Outcome{Scenario: sc, Class: ClassError, Detail: err.Error()}
@@ -404,6 +450,7 @@ func run(sc Scenario, opts Options) (out *Outcome) {
 		return out
 	}
 	out.Rounds = res.Rounds
+	out.Stopped = string(res.Stopped)
 	// Injected faults narrow the claim: the schedule must stay within
 	// what a Byzantine adversary could simulate (duplication/replay
 	// exceed the restricted per-round budget), and the Byzantine slots
@@ -417,6 +464,12 @@ func run(sc Scenario, opts Options) (out *Outcome) {
 		} else if ok, why := proto.VerdictFaults(p, len(res.Corrupted), len(res.Faulted)); !ok {
 			out.Claims, out.ClaimsWhy = false, why
 		}
+	}
+	// A budget stop also narrows the claim: the engine cut the execution
+	// short, so missing decisions are the budget's doing, not the
+	// protocol's. Safety properties are still checked over the prefix.
+	if out.Claims && out.Stopped != "" {
+		out.Claims, out.ClaimsWhy = false, fmt.Sprintf("stopped early (%s): termination within the round budget is not attributable to the protocol", out.Stopped)
 	}
 	verdict := proto.Verdict(res, procs)
 	out.Detail = verdict.String()
@@ -441,7 +494,7 @@ func (o *Outcome) digest() string {
 	h := fnv.New64a()
 	enc, _ := json.Marshal(o.Scenario)
 	h.Write(enc)
-	fmt.Fprintf(h, "|%s|%v|%v|%d|%s|%v", o.Class, o.Claims, o.Solvable, o.Rounds, o.Detail, o.Properties)
+	fmt.Fprintf(h, "|%s|%v|%v|%d|%s|%v|%s", o.Class, o.Claims, o.Solvable, o.Rounds, o.Detail, o.Properties, o.Stopped)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

@@ -30,6 +30,9 @@ type Expect struct {
 	Properties []string `json:"properties,omitempty"`
 	Claims     bool     `json:"claims"`
 	Solvable   bool     `json:"solvable"`
+	// Stopped pins the execution-budget stop reason (engine.StopReason
+	// text, empty when the run completed within its budgets).
+	Stopped string `json:"stopped,omitempty"`
 	// Digest is informational provenance (the digest at harvest time);
 	// replay does not compare it, so unrelated engine-detail changes do
 	// not invalidate seeds.
@@ -47,6 +50,7 @@ func NewSeed(name, note string, o *Outcome) SeedFile {
 			Properties: append([]string(nil), o.Properties...),
 			Claims:     o.Claims,
 			Solvable:   o.Solvable,
+			Stopped:    o.Stopped,
 			Digest:     o.Digest,
 		},
 	}
@@ -101,6 +105,9 @@ func ReplayOpts(sf SeedFile, opts Options) (*Outcome, error) {
 		return o, fmt.Errorf("seed %s: claims=%v solvable=%v, want claims=%v solvable=%v",
 			sf.Name, o.Claims, o.Solvable, sf.Expect.Claims, sf.Expect.Solvable)
 	}
+	if o.Stopped != sf.Expect.Stopped {
+		return o, fmt.Errorf("seed %s: stopped=%q, want %q", sf.Name, o.Stopped, sf.Expect.Stopped)
+	}
 	return o, nil
 }
 
@@ -113,6 +120,15 @@ func ReplayDir(dir string) (replayed int, errs []error) {
 
 // ReplayDirOpts is ReplayDir with execution options.
 func ReplayDirOpts(dir string, opts Options) (replayed int, errs []error) {
+	return ReplayDirVisit(dir, opts, nil)
+}
+
+// ReplayDirVisit is ReplayDirOpts with a per-seed observer: visit (when
+// non-nil) is called for every replayed seed with its outcome and replay
+// error, letting callers surface execution details — a budget stop, the
+// round count — that the aggregate error list does not carry. Seeds that
+// fail to load are reported only through errs.
+func ReplayDirVisit(dir string, opts Options, visit func(name string, o *Outcome, err error)) (replayed int, errs []error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -134,8 +150,12 @@ func ReplayDirOpts(dir string, opts Options) (replayed int, errs []error) {
 			continue
 		}
 		replayed++
-		if _, err := ReplayOpts(sf, opts); err != nil {
+		o, err := ReplayOpts(sf, opts)
+		if err != nil {
 			errs = append(errs, err)
+		}
+		if visit != nil {
+			visit(sf.Name, o, err)
 		}
 	}
 	return replayed, errs

@@ -7,9 +7,10 @@ import (
 
 // Shrink greedily minimises a violating (or panicking) scenario: it
 // tries a fixed, deterministic list of simplifications (weaker behavior,
-// no drops, simpler selector, fewer injected faults, fewer slots, fewer
-// identifiers, fewer Byzantine faults, earlier GST, round-robin
-// assignment, all-zero inputs) and keeps a candidate whenever rerunning
+// no drops, simpler selector, fewer injected faults, back to lockstep,
+// zeroed timing knobs, fewer slots, fewer identifiers, fewer Byzantine
+// faults, earlier GST, round-robin assignment, all-zero inputs) and
+// keeps a candidate whenever rerunning
 // it reproduces the same classification and still violates every
 // property of the original. It returns the final outcome and the number
 // of executions spent (0 when the input is not a violation or panic).
@@ -134,6 +135,56 @@ func candidates(sc Scenario) []Scenario {
 			c.Faults = schedOrNil(g)
 			add(c)
 		}
+		if len(f.Delays) > 0 {
+			g := f
+			g.Delays = g.Delays[:len(g.Delays)-1]
+			c = sc
+			c.Faults = schedOrNil(g)
+			add(c)
+		}
+		if len(f.Reorders) > 0 {
+			g := f
+			g.Reorders = g.Reorders[:len(g.Reorders)-1]
+			c = sc
+			c.Faults = schedOrNil(g)
+			add(c)
+		}
+		if len(f.Stalls) > 0 {
+			g := f
+			g.Stalls = g.Stalls[:len(g.Stalls)-1]
+			c = sc
+			c.Faults = schedOrNil(g)
+			add(c)
+		}
+	}
+
+	// Timing dimension: back to lockstep once no timing fault needs the
+	// esync model, then zero each policy knob, then lift the budget.
+	if sc.TimeModel != "" && sc.TimeModel != "lockstep" && !sc.Faults.HasTiming() {
+		c := sc
+		c.TimeModel = ""
+		c.Bound, c.Timeout, c.MaxAttempts = 0, 0, 0
+		add(c)
+	}
+	if sc.Timeout > 0 {
+		c := sc
+		c.Timeout, c.MaxAttempts = 0, 0
+		add(c)
+	}
+	if sc.MaxAttempts > 0 {
+		c := sc
+		c.MaxAttempts = 0
+		add(c)
+	}
+	if sc.Bound > 0 {
+		c := sc
+		c.Bound = 0
+		add(c)
+	}
+	if sc.MaxSends > 0 {
+		c := sc
+		c.MaxSends = 0
+		add(c)
 	}
 
 	// Selector: simplest deterministic form, then fewer explicit slots.
@@ -266,6 +317,21 @@ func trimFaults(s *inject.Schedule, n int) *inject.Schedule {
 	for _, x := range s.Replays {
 		if x.FromSlot < n && x.ToSlot < n {
 			g.Replays = append(g.Replays, x)
+		}
+	}
+	for _, x := range s.Delays {
+		if x.FromSlot < n && x.ToSlot < n {
+			g.Delays = append(g.Delays, x)
+		}
+	}
+	for _, x := range s.Reorders {
+		if x.FromSlot < n && x.ToSlot < n {
+			g.Reorders = append(g.Reorders, x)
+		}
+	}
+	for _, x := range s.Stalls {
+		if x.Slot < n {
+			g.Stalls = append(g.Stalls, x)
 		}
 	}
 	return schedOrNil(g)

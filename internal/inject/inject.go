@@ -3,7 +3,9 @@
 // Byzantine behaviors (package adversary) and pre-GST link drops to the
 // process and link faults the crash-failure literature treats as primary
 // — crash-stop, crash-recovery, send/receive omission, message
-// duplication and stale replay.
+// duplication and stale replay — plus the timing faults of the
+// eventually-synchronous model: per-link message delay and reorder, and
+// per-process round-clock stalls (skew).
 //
 // A Schedule is a declarative, JSON-serialisable list of faults. The
 // engines compile it once per execution (Compile) into an Injector whose
@@ -119,6 +121,86 @@ type Replay struct {
 	ToSlot      int `json:"to_slot"`
 }
 
+// Delay is a timing fault on the FromSlot -> ToSlot link: messages sent
+// in rounds [From, Until] (Until == 0 means forever) are held in the
+// engine's pending queue and delivered By rounds late. By == 0 means
+// "held until stabilization" — the eventually-synchronous time model
+// delivers such messages at GST plus its delay bound. The model also
+// clamps every delay so that messages sent at or after GST arrive
+// within the bound (that is the "eventually synchronous" guarantee);
+// schedules only choose behavior inside the window the model allows.
+// Prob in (0, 1) delays each link message independently with that
+// probability, hash-derived from Seed so the decision is a pure
+// function of (round, from, to); Prob outside (0, 1) delays every
+// message in the window. Timing faults require a timing-capable time
+// model (engine.EventuallySynchronous); the lockstep model rejects
+// them at construction.
+type Delay struct {
+	FromSlot int     `json:"from_slot"`
+	ToSlot   int     `json:"to_slot"`
+	From     int     `json:"from,omitempty"`
+	Until    int     `json:"until,omitempty"`
+	By       int     `json:"by,omitempty"`
+	Prob     float64 `json:"prob,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+}
+
+// active reports whether the delay window covers the send round.
+func (d Delay) active(round int) bool {
+	from := d.From
+	if from < 1 {
+		from = 1
+	}
+	return round >= from && (d.Until == 0 || round <= d.Until)
+}
+
+// holds reports whether this delay holds the (round, from, to)
+// delivery. Pure in its arguments, same hash discipline as Omission.
+func (d Delay) holds(round, from, to int) bool {
+	if !d.active(round) || from == to {
+		return false
+	}
+	if d.FromSlot != from || d.ToSlot != to {
+		return false
+	}
+	if d.Prob <= 0 || d.Prob >= 1 {
+		return true
+	}
+	h := int64(round)*1_000_003 + int64(from)*10_007 + int64(to)
+	rng := rand.New(rand.NewSource(d.Seed ^ h))
+	return rng.Float64() < d.Prob
+}
+
+// Reorder is a one-round overtake on the FromSlot -> ToSlot link: the
+// messages sent in the given round are held and delivered after the
+// next round's fresh traffic, so newer messages overtake older ones.
+// Equivalent to a Delay with By == 1 covering a single round; kept as
+// its own kind so schedules (and the fuzzer's shrinker) can express
+// plain reordering without touching delay windows.
+type Reorder struct {
+	FromSlot int `json:"from_slot"`
+	ToSlot   int `json:"to_slot"`
+	Round    int `json:"round"`
+}
+
+// Stall freezes a correct slot's round clock for Rounds rounds starting
+// at Round — the per-process skew of the eventually-synchronous model.
+// While stalled the process takes no step (it neither prepares sends
+// nor receives), but unlike a crash its inbound messages are not lost:
+// the engine holds them and delivers them when the slot wakes. The
+// model clamps every stall to end by GST (bounded skew after
+// stabilization).
+type Stall struct {
+	Slot   int `json:"slot"`
+	Round  int `json:"round"`
+	Rounds int `json:"rounds"`
+}
+
+// covers reports whether the stall freezes the slot in the given round.
+func (s Stall) covers(round int) bool {
+	return round >= s.Round && round < s.Round+s.Rounds
+}
+
 // Schedule is a declarative fault schedule: the JSON form is embedded in
 // fuzz scenarios and regression seeds. The zero value (and nil) injects
 // nothing.
@@ -127,13 +209,25 @@ type Schedule struct {
 	Omissions  []Omission  `json:"omissions,omitempty"`
 	Duplicates []Duplicate `json:"duplicates,omitempty"`
 	Replays    []Replay    `json:"replays,omitempty"`
+	Delays     []Delay     `json:"delays,omitempty"`
+	Reorders   []Reorder   `json:"reorders,omitempty"`
+	Stalls     []Stall     `json:"stalls,omitempty"`
 }
 
 // Empty reports whether the schedule injects nothing.
 func (s *Schedule) Empty() bool {
 	return s == nil ||
 		len(s.Crashes) == 0 && len(s.Omissions) == 0 &&
-			len(s.Duplicates) == 0 && len(s.Replays) == 0
+			len(s.Duplicates) == 0 && len(s.Replays) == 0 &&
+			!s.HasTiming()
+}
+
+// HasTiming reports whether the schedule contains timing faults
+// (delays, reorders or stalls), which require a timing-capable time
+// model.
+func (s *Schedule) HasTiming() bool {
+	return s != nil &&
+		(len(s.Delays) > 0 || len(s.Reorders) > 0 || len(s.Stalls) > 0)
 }
 
 // Culprits returns the sorted distinct slots named as a fault source by
@@ -158,6 +252,15 @@ func (s *Schedule) Culprits() []int {
 	}
 	for _, r := range s.Replays {
 		seen[r.FromSlot] = true
+	}
+	for _, d := range s.Delays {
+		seen[d.FromSlot] = true
+	}
+	for _, r := range s.Reorders {
+		seen[r.FromSlot] = true
+	}
+	for _, st := range s.Stalls {
+		seen[st.Slot] = true
 	}
 	out := make([]int, 0, len(seen))
 	for slot := range seen {
@@ -247,6 +350,44 @@ func Compile(s *Schedule, n int) (*Injector, error) {
 			return nil, fmt.Errorf("%w (source %d, replay %d)", ErrReplayOrder, r.SourceRound, r.Round)
 		}
 		bound(r.Round)
+	}
+	for _, d := range s.Delays {
+		if d.FromSlot < 0 || d.FromSlot >= n || d.ToSlot < 0 || d.ToSlot >= n {
+			return nil, fmt.Errorf("%w (delay %d->%d, n=%d)", ErrSlotRange, d.FromSlot, d.ToSlot, n)
+		}
+		if d.By < 0 || d.From < 0 || d.Until < 0 {
+			return nil, fmt.Errorf("%w (delay by %d, window [%d, %d])", ErrRoundRange, d.By, d.From, d.Until)
+		}
+		if d.Prob < 0 || d.Prob >= 1 {
+			return nil, fmt.Errorf("%w (delay prob %v)", ErrProbRange, d.Prob)
+		}
+		if d.Until == 0 || d.By == 0 {
+			// Open window, or held-until-stabilization: the due round
+			// depends on the execution's GST, unknown here.
+			in.maxRound = -1
+		} else {
+			bound(d.Until + d.By)
+		}
+	}
+	for _, r := range s.Reorders {
+		if r.FromSlot < 0 || r.FromSlot >= n || r.ToSlot < 0 || r.ToSlot >= n {
+			return nil, fmt.Errorf("%w (reorder %d->%d, n=%d)", ErrSlotRange, r.FromSlot, r.ToSlot, n)
+		}
+		if r.Round < 1 {
+			return nil, fmt.Errorf("%w (reorder at round %d)", ErrRoundRange, r.Round)
+		}
+		bound(r.Round + 1)
+	}
+	for _, st := range s.Stalls {
+		if st.Slot < 0 || st.Slot >= n {
+			return nil, fmt.Errorf("%w (stall slot %d, n=%d)", ErrSlotRange, st.Slot, n)
+		}
+		if st.Round < 1 || st.Rounds < 1 {
+			return nil, fmt.Errorf("%w (stall at round %d for %d rounds)", ErrRoundRange, st.Round, st.Rounds)
+		}
+		// Held inbound mail wakes no later than the stall's end; the
+		// GST clamp can only move the wake earlier.
+		bound(st.Round + st.Rounds)
 	}
 	return in, nil
 }
@@ -367,17 +508,84 @@ func (in *Injector) ReplaysInto(round int) []int {
 	return out
 }
 
+// HasTiming reports whether the compiled schedule contains timing
+// faults (see Schedule.HasTiming).
+func (in *Injector) HasTiming() bool {
+	if in == nil {
+		return false
+	}
+	return in.sched.HasTiming()
+}
+
+// DelayBy reports whether a delay or reorder fault holds the
+// (round, from, to) delivery at its send round, and by how many rounds.
+// held with by == 0 means "until stabilization" — the time model
+// resolves it to GST plus its delay bound. When several faults match,
+// until-stabilization dominates, otherwise the largest By wins. Pure in
+// its arguments.
+func (in *Injector) DelayBy(round, from, to int) (by int, held bool) {
+	if in == nil {
+		return 0, false
+	}
+	for _, d := range in.sched.Delays {
+		if d.holds(round, from, to) {
+			held = true
+			if d.By <= 0 {
+				return 0, true
+			}
+			if d.By > by {
+				by = d.By
+			}
+		}
+	}
+	for _, r := range in.sched.Reorders {
+		if r.Round == round && r.FromSlot == from && r.ToSlot == to && from != to {
+			held = true
+			if by < 1 {
+				by = 1
+			}
+		}
+	}
+	return by, held
+}
+
+// Stalled reports whether a stall freezes the slot's round clock in the
+// given round, before the model's GST clamp (the engine enforces that
+// stalls end by GST). Pure in its arguments.
+func (in *Injector) Stalled(slot, round int) bool {
+	if in == nil {
+		return false
+	}
+	for _, s := range in.sched.Stalls {
+		if s.Slot == slot && s.covers(round) {
+			return true
+		}
+	}
+	return false
+}
+
 // Simulable reports whether the schedule stays within what a Byzantine
 // adversary could have produced by corrupting the culprit slots:
 // crashes and omissions always are; duplication and replay exceed the
 // restricted-Byzantine per-round budget, so they are simulable only in
-// the unrestricted model. The reason names the first obstruction.
+// the unrestricted model. Timing faults (delay, reorder, stall) make a
+// held message surface alongside the culprit's fresh same-round
+// traffic, which likewise exceeds the restricted
+// one-message-per-recipient-per-round budget; in the unrestricted
+// model a Byzantine culprit may send anything at any time, so they are
+// simulable there. The reason names the first obstruction.
 func (s *Schedule) Simulable(restricted bool) (bool, string) {
 	if s.Empty() {
 		return true, "no faults"
 	}
 	if restricted && (len(s.Duplicates) > 0 || len(s.Replays) > 0) {
 		return false, "duplication/replay exceeds the restricted one-message-per-recipient-per-round budget"
+	}
+	if restricted && s.HasTiming() {
+		return false, "delayed deliveries alongside fresh traffic exceed the restricted one-message-per-recipient-per-round budget"
+	}
+	if s.HasTiming() {
+		return true, "timing faults are Byzantine-simulable by corrupting the culprit slots (late or withheld sends)"
 	}
 	return true, "crash/omission faults are Byzantine-simulable by corrupting the culprit slots"
 }
