@@ -288,6 +288,17 @@ type Config struct {
 	// *InvariantError on the first violation. Cheap enough for fuzz
 	// campaigns; off by default.
 	Invariants bool
+	// FrontierHash maintains, for every correct slot, an incremental
+	// msg.StateHash over the slot's observable history: each delivery it
+	// receives is folded, in the router's deterministic delivery order,
+	// as (round, canonical message key). Correct processes are
+	// deterministic functions of their Context and inbox sequence, so
+	// two executions whose per-slot hashes agree after round r are in
+	// the same correct-process frontier state — the soundness basis of
+	// the exhaustive explorer's state deduplication (package explore).
+	// Forces delivery recording (like an Observer); hashes surface in
+	// Result.SlotHashes. Hashes of corrupted slots stay at the basis.
+	FrontierHash bool
 	// TimeModel optionally selects the execution's time model from a
 	// hand-built Config; nil means Lockstep. WithTimeModel overrides it.
 	// Carried on Config so the deprecated sim.Run / runtime.Run adapters
@@ -406,6 +417,10 @@ type Result struct {
 	Stats   Stats
 	// Traffic holds every delivery when Config.RecordTraffic was set.
 	Traffic []msg.Delivered
+	// SlotHashes holds, when Config.FrontierHash was set, each slot's
+	// observable-history hash at the end of the execution (corrupted
+	// slots keep the hash basis). Nil otherwise.
+	SlotHashes []msg.StateHash
 }
 
 // IsCorrupted reports whether the slot was Byzantine in this execution.
@@ -462,6 +477,7 @@ type Engine struct {
 	intern       *msg.Interner        // per-execution key symbolization table
 	ownIntern    bool                 // the engine pooled it and must recycle it
 	inj          *inject.Injector     // compiled fault schedule, nil when fault-free
+	slotHash     []msg.StateHash      // per-slot observable-history hashes (FrontierHash)
 }
 
 // newEngine builds the execution state for a validated Config.
@@ -557,7 +573,13 @@ func newEngine(cfg Config, tm TimeModel, rep StateRep) (*Engine, error) {
 	if inj.HasTiming() && !policy.Enabled {
 		return nil, fmt.Errorf("%w (model %q)", ErrTimingFaults, tm.Describe())
 	}
-	record := cfg.RecordTraffic || e.observer != nil
+	if cfg.FrontierHash {
+		e.slotHash = make([]msg.StateHash, n)
+		for s := range e.slotHash {
+			e.slotHash[s] = msg.NewStateHash()
+		}
+	}
+	record := cfg.RecordTraffic || e.observer != nil || cfg.FrontierHash
 	e.router = NewRouter(&e.cfg, e.isBad, &e.res.Stats, e.intern, record, e.inj)
 	if policy.Enabled {
 		e.router.EnableTiming(policy)
@@ -589,6 +611,7 @@ func (e *Engine) Run() (*Result, error) {
 		return nil, err
 	}
 	e.res.AllDecided = e.AllCorrectDecided()
+	e.res.SlotHashes = e.slotHash
 	return e.res, nil
 }
 
@@ -686,6 +709,16 @@ func (e *Engine) Step(round int) error {
 
 	if e.cfg.RecordTraffic {
 		e.res.Traffic = append(e.res.Traffic, e.router.Deliveries()...)
+	}
+	if e.slotHash != nil {
+		// Fold the round's deliveries in the router's deterministic
+		// (send-major) order. Only correct recipients accumulate: a
+		// corrupted slot has no process state to fingerprint.
+		for _, d := range e.router.Deliveries() {
+			if !e.isBad[d.ToSlot] {
+				e.slotHash[d.ToSlot] = e.slotHash[d.ToSlot].Delivery(d.Round, d.Msg)
+			}
+		}
 	}
 	if e.observer != nil {
 		e.observer.Observe(round, e.router.Deliveries())

@@ -216,6 +216,12 @@ func WithTrafficRecording() Option {
 	return func(s *settings) { s.cfg.RecordTraffic = true }
 }
 
+// WithFrontierHash maintains per-slot observable-history hashes (see
+// Config.FrontierHash); they surface in Result.SlotHashes.
+func WithFrontierHash() Option {
+	return func(s *settings) { s.cfg.FrontierHash = true }
+}
+
 // WithDelivery selects the round routing strategy.
 func WithDelivery(m DeliveryMode) Option {
 	return func(s *settings) {

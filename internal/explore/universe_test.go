@@ -1,0 +1,248 @@
+package explore
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"homonyms/internal/hom"
+)
+
+func TestCombinationsLexOrder(t *testing.T) {
+	got := combinations(4, 2)
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("combinations(4,2) = %v, want %v", got, want)
+	}
+	if got := combinations(3, 0); len(got) != 1 || got[0] != nil {
+		t.Fatalf("combinations(3,0) = %v, want [nil]", got)
+	}
+}
+
+// TestDropMenuN2Complete: for n = 2 the deduplicated menu must be
+// exactly the four subsets of the two directed edges — the claim the
+// menu's doc comment makes, and what makes cell E's search fully
+// general over message suppression.
+func TestDropMenuN2Complete(t *testing.T) {
+	shapes := dropMenu(2)
+	if len(shapes) != 4 {
+		for _, s := range shapes {
+			t.Logf("%s: %v", s.label, s.pairs)
+		}
+		t.Fatalf("dropMenu(2) has %d shapes, want 4", len(shapes))
+	}
+	seen := map[string]bool{}
+	for _, s := range shapes {
+		pairs := append([][2]int(nil), s.pairs...)
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i][0] != pairs[j][0] {
+				return pairs[i][0] < pairs[j][0]
+			}
+			return pairs[i][1] < pairs[j][1]
+		})
+		seen[fmt.Sprint(pairs)] = true
+	}
+	for _, want := range []string{
+		"[]",
+		"[[0 1]]",
+		"[[1 0]]",
+		"[[0 1] [1 0]]",
+	} {
+		if !seen[want] {
+			t.Fatalf("dropMenu(2) missing edge set %s (have %v)", want, seen)
+		}
+	}
+}
+
+func TestDropMenuDeduplicates(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		shapes := dropMenu(n)
+		seen := map[string]bool{}
+		for _, s := range shapes {
+			key := fmt.Sprint(s.pairs)
+			if seen[key] {
+				t.Fatalf("n=%d: duplicate edge set %s (label %s)", n, key, s.label)
+			}
+			seen[key] = true
+		}
+		if shapes[0].label != "none" || len(shapes[0].pairs) != 0 {
+			t.Fatalf("n=%d: first shape is %q, want the empty shape", n, shapes[0].label)
+		}
+	}
+}
+
+// TestByzMenuComposition counts each action family for a known cell and
+// checks copy actions source only correct slots.
+func TestByzMenuComposition(t *testing.T) {
+	p := hom.Params{N: 4, L: 3, T: 1, Synchrony: hom.Synchronous}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	menu := byzMenu(p, []int{1})
+	counts := map[int]int{}
+	for _, a := range menu {
+		counts[a.kind]++
+		switch a.kind {
+		case aCopy:
+			if a.s1 == 1 {
+				t.Fatalf("copy action sources the corrupted slot: %+v", a)
+			}
+		case aCopySplit:
+			if a.s1 == 1 || a.s2 == 1 {
+				t.Fatalf("copy-split action sources the corrupted slot: %+v", a)
+			}
+			if a.s1 == a.s2 {
+				t.Fatalf("copy-split with equal sources: %+v", a)
+			}
+		}
+	}
+	// Binary domain, n=4, 3 correct slots: 1 silent; 2 bcast; 2*1*3=6
+	// split; 3 copy; 3*2*3=18 copy-split; 2 mimic; 6 mimic-split.
+	want := map[int]int{aSilent: 1, aBcast: 2, aSplit: 6, aCopy: 3, aCopySplit: 18, aMimic: 2, aMimicSplit: 6}
+	for kind, n := range want {
+		if counts[kind] != n {
+			t.Fatalf("action kind %d: %d entries, want %d (menu %d total)", kind, counts[kind], n, len(menu))
+		}
+	}
+}
+
+func TestCollapseTrailingRepeats(t *testing.T) {
+	a := roundChoice{acts: []int{1}, drop: 0}
+	b := roundChoice{acts: []int{2}, drop: 0}
+	cases := []struct {
+		in, want []roundChoice
+	}{
+		{[]roundChoice{a, a, a}, []roundChoice{a}},
+		{[]roundChoice{a, b, b}, []roundChoice{a, b}},
+		{[]roundChoice{a, b, a}, []roundChoice{a, b, a}},
+		{[]roundChoice{a}, []roundChoice{a}},
+	}
+	for i, tc := range cases {
+		got := collapse(tc.in)
+		if len(got) != len(tc.want) {
+			t.Fatalf("case %d: collapse -> %d rounds, want %d", i, len(got), len(tc.want))
+		}
+		for r := range got {
+			if !choiceEqual(got[r], tc.want[r]) {
+				t.Fatalf("case %d round %d: %+v, want %+v", i, r, got[r], tc.want[r])
+			}
+		}
+	}
+}
+
+// TestRoundChoicesDropGating: drop shapes fan out only strictly before
+// GST in a partially synchronous cell, and never in a synchronous one.
+func TestRoundChoicesDropGating(t *testing.T) {
+	psync := &searcher{
+		p:     hom.Params{N: 2, L: 1, T: 0, Synchrony: hom.PartiallySynchronous},
+		drops: dropMenu(2),
+	}
+	rt := root{gst: 3}
+	if got := len(psync.roundChoices(nil, rt, 1)); got != 4 {
+		t.Fatalf("psync pre-GST round: %d choices, want 4 drop shapes", got)
+	}
+	if got := len(psync.roundChoices(nil, rt, 3)); got != 1 {
+		t.Fatalf("psync round at GST: %d choices, want 1", got)
+	}
+	sync := &searcher{
+		p:     hom.Params{N: 3, L: 3, T: 1, Synchrony: hom.Synchronous},
+		drops: dropMenu(3),
+	}
+	menu := byzMenu(sync.p, []int{0})
+	choices := sync.roundChoices(menu, root{gst: 1, corrupt: []int{0}}, 1)
+	if len(choices) != len(menu) {
+		t.Fatalf("sync round: %d choices, want one per menu action (%d)", len(choices), len(menu))
+	}
+	for _, ch := range choices {
+		if ch.drop != 0 {
+			t.Fatalf("sync round fanned out drops: %+v", ch)
+		}
+	}
+}
+
+// TestEnumRootsSymmetryDedup: with all n slots in one identifier group
+// (l = 1), the 2^n input vectors collapse to the n+1 multisets per GST,
+// and corrupt subsets of equal size collapse to one representative.
+func TestEnumRootsSymmetryDedup(t *testing.T) {
+	p := hom.Params{N: 4, L: 1, T: 1, Synchrony: hom.PartiallySynchronous,
+		Numerate: true, RestrictedByzantine: true}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := &searcher{p: p, assign: hom.RoundRobinAssignment(p.N, p.L), gsts: []int{1}}
+	roots := s.enumRoots()
+	// size 0: multisets of 4 binary inputs -> 5 roots; size 1: one "B"
+	// plus multisets of 3 binary inputs -> 4 roots.
+	if len(roots) != 9 {
+		for _, rt := range roots {
+			t.Logf("%s", rt.key)
+		}
+		t.Fatalf("enumRoots: %d roots, want 9 (5 uncorrupted + 4 corrupted multisets)", len(roots))
+	}
+	seen := map[string]bool{}
+	for _, rt := range roots {
+		if seen[rt.key] {
+			t.Fatalf("duplicate canonical root %s", rt.key)
+		}
+		seen[rt.key] = true
+	}
+}
+
+// TestRootKeyGroupSensitive: with distinct identifiers, permuting
+// inputs across groups changes the canonical key (no over-merging).
+func TestRootKeyGroupSensitive(t *testing.T) {
+	p := hom.Params{N: 2, L: 2, T: 0, Synchrony: hom.Synchronous}
+	assign := hom.RoundRobinAssignment(p.N, p.L)
+	isBad := []bool{false, false}
+	k01 := rootKey(p, assign, 1, isBad, []hom.Value{0, 1})
+	k10 := rootKey(p, assign, 1, isBad, []hom.Value{1, 0})
+	if k01 == k10 {
+		t.Fatalf("distinct-group input swap collapsed: %s", k01)
+	}
+	// But within one group (l=1) the swap must collapse.
+	p1 := hom.Params{N: 2, L: 1, T: 0, Synchrony: hom.Synchronous}
+	a1 := hom.RoundRobinAssignment(p1.N, p1.L)
+	if rootKey(p1, a1, 1, isBad, []hom.Value{0, 1}) != rootKey(p1, a1, 1, isBad, []hom.Value{1, 0}) {
+		t.Fatal("same-group input swap did not collapse")
+	}
+}
+
+// TestScenarioRendering: a prefix with a drop round and a byz action
+// renders into well-formed Scenario fields.
+func TestScenarioRendering(t *testing.T) {
+	p := hom.Params{N: 4, L: 3, T: 1, Synchrony: hom.PartiallySynchronous}
+	s := &searcher{
+		protoName: "psynchom",
+		p:         p,
+		assign:    hom.RoundRobinAssignment(p.N, p.L),
+		drops:     dropMenu(p.N),
+	}
+	rt := root{gst: 2, corrupt: []int{0}, inputs: []hom.Value{0, 1, 1, 0}}
+	menu := byzMenu(p, rt.corrupt)
+	prefix := []roundChoice{{acts: []int{1}, drop: 1}, {acts: []int{0}, drop: 0}}
+	sc := s.scenario(menu, rt, prefix, 0, true)
+	if sc.Selector.Kind != "slots" || len(sc.Selector.Slots) != 1 || sc.Selector.Slots[0] != 0 {
+		t.Fatalf("selector = %+v", sc.Selector)
+	}
+	if sc.Behavior.Kind != "script" || !sc.Behavior.Repeat || sc.Behavior.Span != 2 {
+		t.Fatalf("behavior = %+v", sc.Behavior)
+	}
+	if sc.Drops.Kind != "script" || len(sc.Drops.Edges) == 0 || sc.Drops.Span != 2 {
+		t.Fatalf("drops = %+v", sc.Drops)
+	}
+	for _, e := range sc.Drops.Edges {
+		if e.Round != 1 {
+			t.Fatalf("drop edge outside the chosen round: %+v", e)
+		}
+	}
+	if sc.GST != 2 || !sc.Psync {
+		t.Fatalf("gst/psync = %d/%v", sc.GST, sc.Psync)
+	}
+	// All-silent prefix with no drops renders as the inert scenario.
+	quiet := s.scenario(menu, root{gst: 1, corrupt: []int{0}, inputs: rt.inputs},
+		[]roundChoice{{acts: []int{0}, drop: 0}}, 0, true)
+	if quiet.Behavior.Kind != "silent" || quiet.Drops.Kind != "none" {
+		t.Fatalf("quiet scenario = behavior %s drops %s", quiet.Behavior.Kind, quiet.Drops.Kind)
+	}
+}

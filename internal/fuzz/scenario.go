@@ -97,24 +97,35 @@ type SelectorSpec struct {
 }
 
 // BehaviorSpec names the Byzantine behavior: "silent", "crash", "noise",
-// "equivocate", "keyequivocate", "mimicflood" or "valueflood" (forged
-// protocol payloads from the target's registry entry). Until > 0 wraps
-// the behavior so it stops after that round.
+// "equivocate", "keyequivocate", "mimicflood", "valueflood" (forged
+// protocol payloads from the target's registry entry) or "script"
+// (explicit per-round forged sends — the exhaustive explorer's
+// counterexample format, see adversary.ScriptBehavior). Until > 0 wraps
+// the behavior so it stops after that round; Repeat makes a script's
+// last round repeat forever.
 type BehaviorSpec struct {
-	Kind  string `json:"kind"`
-	Until int    `json:"until,omitempty"`
+	Kind   string                 `json:"kind"`
+	Until  int                    `json:"until,omitempty"`
+	Script []adversary.ScriptSend `json:"script,omitempty"`
+	Repeat bool                   `json:"repeat,omitempty"`
+	Span   int                    `json:"span,omitempty"`
 }
 
 // DropSpec names the pre-GST drop policy: "none", "random" (per-delivery
 // probability Prob, hash-derived from Seed so decisions are a pure
-// function of (round, from, to)) or "targeted" (isolate Targets).
+// function of (round, from, to)), "targeted" (isolate Targets) or
+// "script" (explicit suppressed edges, see adversary.ScriptDrops;
+// Repeat extends the last scripted round's edges to every later round).
 type DropSpec struct {
-	Kind     string  `json:"kind"`
-	Seed     int64   `json:"seed,omitempty"`
-	Prob     float64 `json:"prob,omitempty"`
-	Targets  []int   `json:"targets,omitempty"`
-	Inbound  bool    `json:"inbound,omitempty"`
-	Outbound bool    `json:"outbound,omitempty"`
+	Kind     string               `json:"kind"`
+	Seed     int64                `json:"seed,omitempty"`
+	Prob     float64              `json:"prob,omitempty"`
+	Targets  []int                `json:"targets,omitempty"`
+	Inbound  bool                 `json:"inbound,omitempty"`
+	Outbound bool                 `json:"outbound,omitempty"`
+	Edges    []adversary.DropEdge `json:"edges,omitempty"`
+	Repeat   bool                 `json:"repeat,omitempty"`
+	Span     int                  `json:"span,omitempty"`
 }
 
 // Params assembles the scenario's model parameters.
@@ -188,6 +199,30 @@ func (sc Scenario) adversaryFor(proto protoreg.Protocol, p hom.Params) (sim.Adve
 				Make:   func(round int, v hom.Value) []msg.Payload { return forge(p, round, v) },
 			}
 		}
+	case "script":
+		// Copy steps work without a Forge entry; forge steps need one
+		// (ScriptBehavior skips them when Make is nil); Mimic steps need
+		// their own process factory, independent of the engine's.
+		script := &adversary.ScriptBehavior{
+			Steps:  sc.Behavior.Script,
+			Repeat: sc.Behavior.Repeat,
+			Span:   sc.Behavior.Span,
+		}
+		if proto.Forge != nil {
+			forge := proto.Forge
+			script.Make = func(round int, v hom.Value) []msg.Payload { return forge(p, round, v) }
+		}
+		for _, st := range sc.Behavior.Script {
+			if st.Mimic {
+				factory, err := proto.New(p)
+				if err != nil {
+					return nil, err
+				}
+				script.Factory = factory
+				break
+			}
+		}
+		beh = script
 	default:
 		return nil, fmt.Errorf("fuzz: unknown behavior kind %q", sc.Behavior.Kind)
 	}
@@ -205,6 +240,12 @@ func (sc Scenario) adversaryFor(proto protoreg.Protocol, p hom.Params) (sim.Adve
 			Targets:  sc.Drops.Targets,
 			Inbound:  sc.Drops.Inbound,
 			Outbound: sc.Drops.Outbound,
+		}
+	case "script":
+		drops = adversary.ScriptDrops{
+			Edges:  sc.Drops.Edges,
+			Repeat: sc.Drops.Repeat,
+			Span:   sc.Drops.Span,
 		}
 	default:
 		return nil, fmt.Errorf("fuzz: unknown drop kind %q", sc.Drops.Kind)

@@ -1,0 +1,136 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"homonyms/internal/engine"
+)
+
+// testdataSeedNames lists every committed seed, so the round-trip
+// sweep fails if a new seed is added without being covered.
+func testdataSeedNames(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no committed seeds found")
+	}
+	return names
+}
+
+// TestSeedScenarioJSONRoundTrip: every committed seed's scenario must
+// survive marshal -> unmarshal -> run with a byte-identical outcome
+// digest. This is the property that makes the corpus a stable exchange
+// format: a harvested counterexample (cmd/explore -harvest), a shrunk
+// fuzz failure and a hand-written seed all pass through the same JSON
+// and must name the same execution.
+func TestSeedScenarioJSONRoundTrip(t *testing.T) {
+	for _, name := range testdataSeedNames(t) {
+		t.Run(name, func(t *testing.T) {
+			sf := loadTestdataSeed(t, name)
+			want := Run(sf.Scenario)
+
+			raw, err := json.Marshal(sf.Scenario)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sc Scenario
+			if err := json.Unmarshal(raw, &sc); err != nil {
+				t.Fatal(err)
+			}
+			got := Run(sc)
+			if got.Digest != want.Digest {
+				t.Fatalf("digest drifted across JSON: %s vs %s", got.Digest, want.Digest)
+			}
+			if got.Class != want.Class {
+				t.Fatalf("class drifted across JSON: %s vs %s", got.Class, want.Class)
+			}
+
+			// A second marshal of the round-tripped scenario must be
+			// byte-identical — no field decays on re-encoding.
+			again, err := json.Marshal(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(again) != string(raw) {
+				t.Fatalf("re-encoded scenario drifted:\n%s\nvs\n%s", again, raw)
+			}
+		})
+	}
+}
+
+// TestSeedOptionsMatchesConfig: for every committed seed, an engine run
+// assembled through Scenario.Options() (the options-based API) produces
+// the same execution as the legacy Config path — same rounds, same
+// decisions, same stats.
+func TestSeedOptionsMatchesConfig(t *testing.T) {
+	for _, name := range testdataSeedNames(t) {
+		t.Run(name, func(t *testing.T) {
+			sf := loadTestdataSeed(t, name)
+			want := runSeedEngine(t, sf)
+
+			opts, err := sf.Scenario.Options()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := engine.Run(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Rounds != want.Rounds || got.AllDecided != want.AllDecided || got.Stopped != want.Stopped {
+				t.Fatalf("options run diverged: rounds %d/%d allDecided %v/%v stopped %q/%q",
+					got.Rounds, want.Rounds, got.AllDecided, want.AllDecided, got.Stopped, want.Stopped)
+			}
+			if got.Stats != want.Stats {
+				t.Fatalf("options run stats diverged: %+v vs %+v", got.Stats, want.Stats)
+			}
+			if len(got.Decisions) != len(want.Decisions) {
+				t.Fatalf("decision widths diverged: %d vs %d", len(got.Decisions), len(want.Decisions))
+			}
+			for i := range got.Decisions {
+				if got.Decisions[i] != want.Decisions[i] || got.DecidedAt[i] != want.DecidedAt[i] {
+					t.Fatalf("slot %d decision diverged: %v@%d vs %v@%d", i,
+						got.Decisions[i], got.DecidedAt[i], want.Decisions[i], want.DecidedAt[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSeedFilesWellFormed: every committed seed file re-encodes to the
+// exact bytes on disk (WriteSeed's format), so regenerating a seed
+// never produces a spurious diff.
+func TestSeedFilesWellFormed(t *testing.T) {
+	for _, name := range testdataSeedNames(t) {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("testdata", name+".json")
+			disk, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sf := loadTestdataSeed(t, name)
+			enc, err := json.MarshalIndent(sf, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(append(enc, '\n')) != string(disk) {
+				t.Fatalf("seed %s is not in WriteSeed's canonical encoding", name)
+			}
+			if sf.Name != name {
+				t.Fatalf("seed name %q does not match its filename %q", sf.Name, name)
+			}
+		})
+	}
+}

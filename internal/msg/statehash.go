@@ -1,0 +1,69 @@
+package msg
+
+// Stable state hashing for the exhaustive explorer (package explore):
+// a StateHash folds a correct process's observable history — the
+// sequence of deliveries it received, round by round — into one 64-bit
+// fingerprint that is identical across executions, state
+// representations and worker counts.
+//
+// The fold deliberately hashes each message's canonical key string
+// (Message.Key: authenticated identifier plus payload key) and NOT its
+// KeyID. KeyIDs are execution-relative: the interner assigns them in
+// first-sight order, so the same message can carry different KeyIDs in
+// two executions that deliver it after different prefixes. The canonical
+// key is the stable name the interner itself dedups on, which makes it
+// the only safe thing to hash when fingerprints from different
+// executions are compared (exactly what state-hash deduplication does).
+
+// StateHash is an incremental, order-sensitive FNV-1a (64-bit) fold.
+// The zero value is NOT a valid hash; start from NewStateHash.
+type StateHash uint64
+
+const (
+	stateHashOffset StateHash = 14695981039346656037
+	stateHashPrime  uint64    = 1099511628211
+)
+
+// NewStateHash returns the FNV-1a offset basis.
+func NewStateHash() StateHash { return stateHashOffset }
+
+// Byte folds one byte.
+func (h StateHash) Byte(b byte) StateHash {
+	return StateHash((uint64(h) ^ uint64(b)) * stateHashPrime)
+}
+
+// Uint64 folds a 64-bit value, little-endian.
+func (h StateHash) Uint64(v uint64) StateHash {
+	for i := 0; i < 8; i++ {
+		h = h.Byte(byte(v >> (8 * i)))
+	}
+	return h
+}
+
+// Int folds an int.
+func (h StateHash) Int(v int) StateHash { return h.Uint64(uint64(int64(v))) }
+
+// Bool folds a bool as one byte.
+func (h StateHash) Bool(v bool) StateHash {
+	if v {
+		return h.Byte(1)
+	}
+	return h.Byte(0)
+}
+
+// String folds a length-prefixed string, so consecutive folds never
+// alias across string boundaries.
+func (h StateHash) String(s string) StateHash {
+	h = h.Int(len(s))
+	for i := 0; i < len(s); i++ {
+		h = h.Byte(s[i])
+	}
+	return h
+}
+
+// Delivery folds one observed delivery: the round it surfaced in and
+// the message's canonical key (identifier + payload key — see the file
+// comment for why the KeyID is excluded).
+func (h StateHash) Delivery(round int, m Message) StateHash {
+	return h.Int(round).String(m.Key())
+}
