@@ -54,7 +54,7 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "output file")
+	out := flag.String("out", "BENCH_PR10.json", "output file")
 	compare := flag.String("compare", "", "baseline JSON file, directory or glob to gate against instead of writing a record")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed relative regression in -compare mode")
 	flag.Parse()
@@ -88,6 +88,7 @@ var gatedAllocBenches = []string{
 	"engine_permessage_50r_n16",
 	"engine_groupshared_fill_n64l4",
 	"engine_perrecipient_fill_n64l4",
+	"engine_counting_broadcast_50r_n16",
 	"inbox_now_build",
 	"inbox_now_build_pooled_keyed",
 	"inbox_interned_build_pooled",
@@ -104,6 +105,36 @@ var gatedRatios = []string{
 	"inbox_build_ns_improvement_x",
 	"inbox_count_ns_improvement_x",
 	"engine_groupshared_vs_perrecipient_x",
+	"engine_counting_memory_reduction_x",
+}
+
+// ratioRebaselines marks gated ratios whose floor was legitimately reset
+// by a later record. When an optimisation speeds up a ratio's
+// denominator (the comparison path), the relative advantage shrinks even
+// though both absolute costs improved, so floors recorded before the
+// optimisation become unreachable by construction. The value is the
+// record number from which floors apply; gates against older baselines
+// skip the ratio. Absolute costs stay gated throughout via the engine
+// norm and the alloc gates.
+var ratioRebaselines = map[string]int{
+	// PR 10's key-level batch classification sped up the per-recipient
+	// fill itself (~20% on engine_perrecipient_fill_n64l4), shrinking
+	// the group-shared advantage from ~6x to ~4x while making both
+	// delivery paths cheaper.
+	"engine_groupshared_vs_perrecipient_x": 10,
+}
+
+// recordRank extracts the record number from a record or file name
+// ("BENCH_PR7" -> 7) for ordering gates oldest-first.
+var recordNum = regexp.MustCompile(`(\d+)`)
+
+func recordRank(name string) int {
+	m := recordNum.FindString(name)
+	if m == "" {
+		return 0
+	}
+	n, _ := strconv.Atoi(m)
+	return n
 }
 
 // baselineFiles resolves the -compare argument to the list of baseline
@@ -125,15 +156,7 @@ func baselineFiles(arg string) ([]string, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no baseline records match %q", pattern)
 	}
-	num := regexp.MustCompile(`(\d+)`)
-	rank := func(path string) int {
-		m := num.FindString(filepath.Base(path))
-		if m == "" {
-			return 0
-		}
-		n, _ := strconv.Atoi(m)
-		return n
-	}
+	rank := func(path string) int { return recordRank(filepath.Base(path)) }
 	sort.Slice(files, func(i, j int) bool { return rank(files[i]) < rank(files[j]) })
 	return files, nil
 }
@@ -192,6 +215,10 @@ func gateAgainst(path string, base record, cur *record, tolerance float64) []str
 		c, okC := cur.Derived[name]
 		if !okC {
 			failures = append(failures, fmt.Sprintf("%s: ratio %s missing from current run", path, name))
+			continue
+		}
+		if from, ok := ratioRebaselines[name]; ok && recordRank(base.Record) < from {
+			skipped++
 			continue
 		}
 		b, okB := base.Derived[name]
@@ -312,7 +339,7 @@ func run(out string) error {
 // collect measures the full benchmark suite in-process.
 func collect() (*record, error) {
 	rec := record{
-		Record:     "BENCH_PR7",
+		Record:     "BENCH_PR10",
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchmarks: map[string]metric{},
@@ -325,6 +352,8 @@ func collect() (*record, error) {
 			"protocol_table_* measure the arena-backed broadcast tables (PR 3); the matrix pair records workers/gomaxprocs so single-core runs are not misread as scheduler regressions",
 			"inbox_group_* and engine_*_fill_n64l4 are the PR-5 group-shared reception paths: an identifier-symmetric post-GST all-to-all round at n=64, l=4 fills one shared msg.GroupInbox per identifier group (l fills) instead of one SoA inbox per process (n fills); engine_groupshared_vs_perrecipient_x is the fill-path ratio on that cell",
 			"PR 7 unifies the sequential and concurrent engines into internal/engine (sim.Run/runtime.Run are thin adapters); engine_* benchmarks now drive the round-core through the options API, with the same names and workloads",
+			"engine_counting_* are the PR-10 counting representation: correct processes held as (identifier, state) equivalence classes with multiplicities, one protocol step and one stamp per class per round; engine_counting_broadcast_n1e6_l8 runs a million-process broadcast in the memory of its 8 classes plus the engine's O(n) slot bookkeeping",
+			"engine_counting_memory_reduction_x extrapolates the concrete cost to n=1e6 linearly from the measured n=1e4 run (conservative: every concrete per-slot cost — process objects, stamped sends, per-slot payload strings — grows at least linearly in n) and divides by the measured counting bytes at n=1e6",
 		},
 	}
 
@@ -494,6 +523,40 @@ func collect() (*record, error) {
 	rec.Benchmarks["engine_batched_50r_n16"] = batched
 	rec.Benchmarks["engine_permessage_50r_n16"] = engineBench(engine.DeliverPerMessage)
 
+	// The counting representation (PR 10): the same broadcast workloads
+	// with processes held as (identifier, state) equivalence classes.
+	// The n16 cell is the apples-to-apples pair for the concrete engine
+	// benchmark above (same n, same rounds); the n1e4/n1e6 pair is the
+	// scale story — the concrete n=1e4 run is the extrapolation basis,
+	// the counting n=1e6 run is the headline (8 broadcast rounds of a
+	// million processes under 8 identifiers in 8 classes).
+	countingBench := func(n, l, rounds int, rep engine.StateRep) metric {
+		p := hom.Params{N: n, L: l, T: 0, Synchrony: hom.Synchronous}
+		inputs := make([]hom.Value, n)
+		assignment := hom.RoundRobinAssignment(n, l)
+		return measure(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := []engine.Option{
+					engine.WithParams(p),
+					engine.WithAssignment(assignment),
+					engine.WithInputs(inputs...),
+					engine.WithProcess(func(int) engine.Process { return &countFlooder{} }),
+					engine.WithRounds(rounds),
+				}
+				if rep != nil {
+					opts = append(opts, engine.WithStateRep(rep))
+				}
+				if _, err := engine.Run(opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	rec.Benchmarks["engine_counting_broadcast_50r_n16"] = countingBench(16, 16, 50, engine.Counting())
+	rec.Benchmarks["engine_concrete_broadcast_n1e4_l8"] = countingBench(10_000, 8, 8, nil)
+	rec.Benchmarks["engine_counting_broadcast_n1e4_l8"] = countingBench(10_000, 8, 8, engine.Counting())
+	rec.Benchmarks["engine_counting_broadcast_n1e6_l8"] = countingBench(1_000_000, 8, 8, engine.Counting())
+
 	// Protocol tables (PR 3): the arena-backed broadcast primitives
 	// ingesting a steady stream of echoes — the per-delivery table path
 	// of Theorems 3-5's constructions.
@@ -565,6 +628,18 @@ func collect() (*record, error) {
 	rec.Derived["engine_groupshared_vs_perrecipient_x"] = div(
 		rec.Benchmarks["engine_perrecipient_fill_n64l4"].NsPerOp,
 		rec.Benchmarks["engine_groupshared_fill_n64l4"].NsPerOp)
+	// Counting-vs-concrete, same workload: memory at n=1e4 directly, and
+	// the n=1e6 headline against the linear extrapolation of the n=1e4
+	// concrete run (see the record notes for why linear is conservative).
+	rec.Derived["engine_counting_n1e4_memory_x"] = div(
+		rec.Benchmarks["engine_concrete_broadcast_n1e4_l8"].BytesPerOp,
+		rec.Benchmarks["engine_counting_broadcast_n1e4_l8"].BytesPerOp)
+	rec.Derived["engine_counting_memory_reduction_x"] = div(
+		rec.Benchmarks["engine_concrete_broadcast_n1e4_l8"].BytesPerOp*100,
+		rec.Benchmarks["engine_counting_broadcast_n1e6_l8"].BytesPerOp)
+	rec.Derived["engine_counting_time_reduction_x"] = div(
+		rec.Benchmarks["engine_concrete_broadcast_n1e4_l8"].NsPerOp*100,
+		rec.Benchmarks["engine_counting_broadcast_n1e6_l8"].NsPerOp)
 	rec.Derived["workers"] = float64(exec.Workers())
 	return &rec, nil
 }
@@ -725,6 +800,27 @@ func (f *flooder) Prepare(round int) []msg.Send {
 }
 func (f *flooder) Receive(int, *msg.Inbox)     {}
 func (f *flooder) Decision() (hom.Value, bool) { return hom.NoValue, false }
+
+// countFlooder is the counting-family workload: the same broadcast
+// behaviour as flooder, plus the Cloner/StateHasher extensions that let
+// engine.Counting collapse each identifier group into one class. Its
+// observable state is exactly its identifier, so the fingerprint folds
+// only that.
+type countFlooder struct{ id hom.Identifier }
+
+func (f *countFlooder) Init(ctx engine.Context) { f.id = ctx.ID }
+func (f *countFlooder) Prepare(round int) []msg.Send {
+	return []msg.Send{msg.Broadcast(msg.Raw(fmt.Sprintf("flood|%d|%d", f.id, round)))}
+}
+func (f *countFlooder) Receive(int, *msg.Inbox)     {}
+func (f *countFlooder) Decision() (hom.Value, bool) { return hom.NoValue, false }
+func (f *countFlooder) CloneProcess() engine.Process {
+	cp := *f
+	return &cp
+}
+func (f *countFlooder) StateFingerprint() msg.StateHash {
+	return msg.NewStateHash().Int(int(f.id))
+}
 
 func broadcastRound(n, l int) []msg.Message {
 	raw := make([]msg.Message, 0, n)

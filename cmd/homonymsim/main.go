@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 
 	"homonyms/internal/adversary"
 	"homonyms/internal/core"
+	"homonyms/internal/engine"
 	"homonyms/internal/hom"
 	"homonyms/internal/sim"
 	"homonyms/internal/trace"
@@ -43,8 +45,16 @@ func run() error {
 		dropProb   = flag.Float64("drop", 0.5, "pre-GST drop probability (psync)")
 		seed       = flag.Int64("seed", 1, "determinism seed")
 		maxSends   = flag.Int("maxsends", 0, "message budget: stop the run once this many sends were stamped (0 = unlimited)")
+		stateRep   = flag.String("staterep", "", "engine state representation: concrete | concurrent | counting (empty = concrete)")
+		maxClasses = flag.Int("maxclasses", 0, "counting only: fail with a degeneracy error past this many equivalence classes (0 = unlimited)")
 	)
 	flag.Parse()
+
+	// Resolve the representation eagerly so a typo fails before any
+	// output, with the resolver's typed error text.
+	if _, err := engine.StateRepByName(*stateRep, *maxClasses); err != nil {
+		return err
+	}
 
 	p := hom.Params{
 		N: *n, L: *l, T: *t,
@@ -123,8 +133,14 @@ func run() error {
 		Adversary:  adv,
 		GST:        *gst,
 		MaxSends:   *maxSends,
+		StateRep:   *stateRep,
+		MaxClasses: *maxClasses,
 	})
 	if err != nil {
+		var deg *engine.DegeneracyError
+		if errors.As(err, &deg) {
+			return fmt.Errorf("%w (rerun with -staterep concrete, or raise -maxclasses)", deg)
+		}
 		return err
 	}
 

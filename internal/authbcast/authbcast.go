@@ -254,3 +254,46 @@ func (b *Broadcaster) tuple(body msg.Payload, sr int, id hom.Identifier) int {
 // TupleCount reports the number of tracked tuples (for tests and memory
 // accounting).
 func (b *Broadcaster) TupleCount() int { return len(b.tab.tuples) }
+
+// Clone returns an independent deep copy of the broadcaster, backed by a
+// fresh pooled table. The original's tuples are replayed in arena
+// (first-sight) order, which reproduces the KeyID assignment and echo
+// bitmap layout exactly, so clone and original behave identically from
+// here on.
+func (b *Broadcaster) Clone() *Broadcaster {
+	nb := newBroadcaster(b.l, b.t)
+	nb.pending = append(nb.pending, b.pending...)
+	for i := range b.tab.tuples {
+		ts := &b.tab.tuples[i]
+		nt := &nb.tab.tuples[nb.tuple(ts.body, ts.sr, ts.id)]
+		nt.echoes = ts.echoes
+		nt.echoing = ts.echoing
+		nt.accepted = ts.accepted
+		copy(nb.tab.echoers[nt.echoOff:int(nt.echoOff)+b.l+1],
+			b.tab.echoers[ts.echoOff:int(ts.echoOff)+b.l+1])
+	}
+	return nb
+}
+
+// Fingerprint folds the broadcaster's observable state into h: the
+// pending queue, then every tuple's canonical key, counters and echoer
+// bitmap in arena (first-sight) order. Canonical payload keys only —
+// tuple KeyIDs are broadcaster-local and never hashed (two broadcasters
+// that saw the same tuples in a different order fingerprint differently,
+// which only delays a class merge, never corrupts one).
+func (b *Broadcaster) Fingerprint(h msg.StateHash) msg.StateHash {
+	h = h.Int(len(b.pending))
+	for _, m := range b.pending {
+		h = h.String(m.Key())
+	}
+	h = h.Int(len(b.tab.tuples))
+	for i := range b.tab.tuples {
+		ts := &b.tab.tuples[i]
+		h = h.String(ts.body.Key()).Int(ts.sr).Int(int(ts.id)).
+			Int(ts.echoes).Bool(ts.echoing).Bool(ts.accepted)
+		for j := 0; j <= b.l; j++ {
+			h = h.Bool(b.tab.echoers[int(ts.echoOff)+j])
+		}
+	}
+	return h
+}

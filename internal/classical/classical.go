@@ -163,3 +163,21 @@ func (p *Process) Receive(round int, in *msg.Inbox) {
 func (p *Process) Decision() (hom.Value, bool) {
 	return p.decision, p.decision != hom.NoValue
 }
+
+// CloneProcess implements sim.Cloner. The algorithm is shared and
+// stateless and states are immutable values, so a struct copy is an
+// independent fork.
+func (p *Process) CloneProcess() sim.Process {
+	cp := *p
+	return &cp
+}
+
+// StateFingerprint implements sim.StateHasher: the canonical state key
+// plus the decision determine all future behaviour.
+func (p *Process) StateFingerprint() msg.StateHash {
+	h := msg.NewStateHash()
+	if p.state != nil {
+		h = h.String(p.state.Key())
+	}
+	return h.Int(int(p.decision))
+}

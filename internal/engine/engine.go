@@ -513,16 +513,25 @@ func newEngine(cfg Config, tm TimeModel, rep StateRep) (*Engine, error) {
 			e.observer = obs
 		}
 	}
-	for s := 0; s < n; s++ {
-		if e.isBad[s] {
-			continue
-		}
-		p := cfg.NewProcess(s)
-		if p == nil {
+	if _, owns := rep.(processOwner); owns {
+		// The representation builds and initialises its own processes in
+		// Start (one per equivalence class, not per slot); the factory is
+		// still required — it is what the representation instantiates.
+		if cfg.NewProcess == nil {
 			return nil, ErrNilProcessFactory
 		}
-		p.Init(Context{ID: cfg.Assignment[s], Input: cfg.Inputs[s], Params: cfg.Params})
-		e.procs[s] = p
+	} else {
+		for s := 0; s < n; s++ {
+			if e.isBad[s] {
+				continue
+			}
+			p := cfg.NewProcess(s)
+			if p == nil {
+				return nil, ErrNilProcessFactory
+			}
+			p.Init(Context{ID: cfg.Assignment[s], Input: cfg.Inputs[s], Params: cfg.Params})
+			e.procs[s] = p
+		}
 	}
 	gst := cfg.GST
 	if gst < 1 {
@@ -689,15 +698,21 @@ func (e *Engine) Step(round int) error {
 	// pointer-laden Message structs, and under batched delivery each
 	// recipient's round is one masked index-slice copy.
 	e.router.BeginRound(round)
-	for from := 0; from < e.n; from++ {
-		if e.isBad[from] {
-			continue
-		}
-		e.router.RouteCorrect(from, e.correctSends[from])
+	routed := false
+	if rr, ok := e.rep.(roundRouter); ok {
+		routed = rr.RouteRound(round)
 	}
-	for _, from := range e.corrupted {
-		e.router.RouteByzantine(from, e.byzSends[from])
-		e.byzSends[from] = nil
+	if !routed {
+		for from := 0; from < e.n; from++ {
+			if e.isBad[from] {
+				continue
+			}
+			e.router.RouteCorrect(from, e.correctSends[from])
+		}
+		for _, from := range e.corrupted {
+			e.router.RouteByzantine(from, e.byzSends[from])
+			e.byzSends[from] = nil
+		}
 	}
 	e.router.Flush()
 
@@ -706,6 +721,11 @@ func (e *Engine) Step(round int) error {
 	// back once Receive returns (processes must not retain them — see the
 	// Process contract).
 	e.rep.DeliverRound(round)
+	if f, ok := e.rep.(repFailer); ok {
+		if err := f.Err(); err != nil {
+			return err
+		}
+	}
 
 	if e.cfg.RecordTraffic {
 		e.res.Traffic = append(e.res.Traffic, e.router.Deliveries()...)

@@ -576,6 +576,22 @@ func (r *Router) RouteByzantine(from int, sends []msg.TargetedSend) {
 	}
 }
 
+// kidsEqual reports whether two delivery-index slices reference the same
+// message sequence: entry for entry, either the same arena index or two
+// entries carrying the same KeyID (equal canonical (identifier, payload)
+// keys, hence equal payload values and equal key lengths).
+func (r *Router) kidsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] && r.arena.KID(a[i]) != r.arena.KID(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // batchStats accumulates one recipient batch's statistic deltas, so a
 // shared class can apply its representative's deltas once per member
 // without recomputing the batch.
@@ -752,10 +768,19 @@ func (r *Router) Flush() {
 			// group-targeted sends in identical stamp order; only
 			// targeted (Byzantine) routing can diverge the candidate
 			// batches, so the comparison is skipped when neither slot
-			// was touched by one.
+			// was touched by one. Batches whose arena indices differ but
+			// whose key sequences agree — a Byzantine slot sending the
+			// same message separately to each member — still classify
+			// together: equal KeyIDs mean equal (identifier, payload)
+			// pairs and equal key lengths, so the observable inboxes and
+			// the statistics are identical. Only maskless non-recording
+			// rounds qualify: masks and traffic records are keyed by the
+			// true sender slot, which key equality does not preserve.
 			if (r.dirty[rep] || r.dirty[m]) && !slices.Equal(r.pend[m], repPend) {
-				r.flushOwn(m)
-				continue
+				if !(trivialMask && !r.record && r.kidsEqual(r.pend[m], repPend)) {
+					r.flushOwn(m)
+					continue
+				}
 			}
 			if trivialMask {
 				// Identical candidates, no masks: the representative's
@@ -1018,7 +1043,10 @@ func (r *Router) VerifyRound() error {
 			}
 			var bs batchStats
 			r.verifyScratch = r.maskBatch(to, r.pend[to], r.verifyScratch[:0], &bs)
-			if !slices.Equal(r.verifyScratch, r.rawIdx[rep]) {
+			// Key-level classification can share batches whose arena
+			// indices differ, so the spot check compares KeyID sequences
+			// (the unit of inbox identity), not raw indices.
+			if !r.kidsEqual(r.verifyScratch, r.rawIdx[rep]) {
 				return &InvariantError{
 					Round: r.round, Check: "class-equality",
 					Detail: fmt.Sprintf("slot %d shares rep %d's inbox but re-masking its batch gives %d entries vs %d",

@@ -176,12 +176,11 @@ func TestClassifierTargetedSendDiverges(t *testing.T) {
 		t.Fatalf("untouched homonyms stopped sharing: %d, %d",
 			h.r.SharedWith(0), h.r.SharedWith(8))
 	}
-	// Targeted sends to every member, even with byte-identical bodies,
-	// are distinct stamped sends: the classifier compares batches at the
-	// arena-index level (the only comparison that keeps traffic records
-	// and equal-key-different-sender corner cases provably identical to
-	// the reference path), so every touched member conservatively falls
-	// back to its own fill.
+	// Targeted sends to every member with byte-identical bodies are
+	// distinct stamped sends, but the classifier compares batches at the
+	// key level when no mask or record is in play: equal (sender, key)
+	// sequences mean provably identical inbox contents and statistics,
+	// so the group re-unifies instead of splitting forever.
 	h.broadcastRound(2, map[int][]msg.TargetedSend{
 		3: {
 			{ToSlot: 0, Body: msg.Raw("same")},
@@ -189,14 +188,30 @@ func TestClassifierTargetedSendDiverges(t *testing.T) {
 			{ToSlot: 8, Body: msg.Raw("same")},
 		},
 	})
-	if h.r.SharedWith(0) != -1 || h.r.SharedWith(4) != -1 || h.r.SharedWith(8) != -1 {
-		t.Fatalf("targeted members classified as shared: %d, %d, %d",
+	if h.r.SharedWith(0) != 0 || h.r.SharedWith(4) != 0 || h.r.SharedWith(8) != 0 {
+		t.Fatalf("equal-keyed targeted members not re-unified: %d, %d, %d",
 			h.r.SharedWith(0), h.r.SharedWith(4), h.r.SharedWith(8))
 	}
 	// An untouched group (identifier 2: slots 1, 5, 9) keeps sharing.
 	if h.r.SharedWith(1) != 1 || h.r.SharedWith(5) != 1 || h.r.SharedWith(9) != 1 {
 		t.Fatalf("untouched group stopped sharing: %d, %d, %d",
 			h.r.SharedWith(1), h.r.SharedWith(5), h.r.SharedWith(9))
+	}
+	// Distinct bodies still diverge: the touched member falls back to
+	// its own fill while the rest of the group keeps sharing.
+	h.broadcastRound(3, map[int][]msg.TargetedSend{
+		3: {
+			{ToSlot: 0, Body: msg.Raw("same")},
+			{ToSlot: 4, Body: msg.Raw("different")},
+			{ToSlot: 8, Body: msg.Raw("same")},
+		},
+	})
+	if got := h.r.SharedWith(4); got != -1 {
+		t.Fatalf("distinct-keyed targeted slot 4 still classified into class %d", got)
+	}
+	if h.r.SharedWith(0) != 0 || h.r.SharedWith(8) != 0 {
+		t.Fatalf("equal-keyed members stopped sharing: %d, %d",
+			h.r.SharedWith(0), h.r.SharedWith(8))
 	}
 }
 

@@ -1,0 +1,284 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"homonyms/internal/engine"
+	"homonyms/internal/hom"
+	"homonyms/internal/inject"
+	"homonyms/internal/msg"
+)
+
+// classCounter is the diagnostic surface of the counting representation.
+type classCounter interface{ ClassCount() int }
+
+// foldProc is the white-box probe process: every round it broadcasts a
+// constant payload and folds the round's inbox into its state. With
+// persist set the fold accumulates forever (any reception divergence
+// keeps classes apart for the rest of the run); without it only the
+// latest round's fold is kept, so classes re-converge one clean round
+// after a divergence. It decides its input once round 3 has been
+// received (deciding immediately would stop every run after round 1,
+// before any divergence fires).
+type foldProc struct {
+	input   hom.Value
+	persist bool
+	ready   bool
+	last    string
+	acc     string
+}
+
+func (p *foldProc) Init(ctx engine.Context) { p.input = ctx.Input }
+
+func (p *foldProc) Prepare(round int) []msg.Send {
+	return []msg.Send{msg.Broadcast(valuePayload{p.input})}
+}
+
+func (p *foldProc) Receive(round int, in *msg.Inbox) {
+	fold := ""
+	for i, k := 0, in.Len(); i < k; i++ {
+		fold += fmt.Sprintf("%d:%s;", in.SenderAt(i), in.BodyAt(i).Key())
+	}
+	p.last = fold
+	if p.persist {
+		p.acc += fold
+	}
+	if round >= 3 {
+		p.ready = true
+	}
+}
+
+func (p *foldProc) Decision() (hom.Value, bool) { return p.input, p.ready }
+
+func (p *foldProc) CloneProcess() engine.Process {
+	cp := *p
+	return &cp
+}
+
+func (p *foldProc) StateFingerprint() msg.StateHash {
+	return msg.NewStateHash().String(p.last).String(p.acc).
+		Int(int(p.input)).Bool(p.persist).Bool(p.ready)
+}
+
+// targetRounds poisons specific slots in specific rounds from one
+// Byzantine slot and applies a static pre-GST drop mask.
+type targetRounds struct {
+	bad   int
+	plan  map[int][]msg.TargetedSend // round -> targeted sends
+	drops map[[3]int]bool            // (round, from, to) -> drop
+}
+
+func (a targetRounds) Corrupt(hom.Params, hom.Assignment, []hom.Value) []int { return []int{a.bad} }
+
+func (a targetRounds) Sends(round, slot int, _ *engine.View) []msg.TargetedSend {
+	if slot != a.bad {
+		return nil
+	}
+	return a.plan[round]
+}
+
+func (a targetRounds) Drop(round, from, to int) bool {
+	return a.drops[[3]int{round, from, to}]
+}
+
+// countingOptions is the shared scenario: 12 slots, 4 identifiers
+// round-robin, inputs varying within each group so initial classes are
+// (identifier, input) pairs — identifier g holds slots {g-1, g+3, g+7}
+// with inputs {0, 1, 0}, giving 8 initial classes ({g-1, g+7} and
+// {g+3} per group).
+func countingOptions(persist bool, rounds int) []engine.Option {
+	const n, l = 12, 4
+	inputs := make([]hom.Value, n)
+	for s := range inputs {
+		inputs[s] = hom.Value((s / 4) % 2)
+	}
+	return []engine.Option{
+		engine.WithParams(hom.Params{N: n, L: l, T: 1, Synchrony: hom.Synchronous}),
+		engine.WithAssignment(hom.RoundRobinAssignment(n, l)),
+		engine.WithInputs(inputs...),
+		engine.WithProcess(func(int) engine.Process { return &foldProc{persist: persist} }),
+		engine.WithRounds(rounds),
+	}
+}
+
+// resultKey reduces a Result to its comparable essence.
+func resultKey(res *engine.Result) string {
+	return fmt.Sprintf("%v|%v|%v|%d|%+v", res.Decisions, res.DecidedAt, res.AllDecided, res.Rounds, res.Stats)
+}
+
+// runBoth runs the same option set under Concrete and Counting and
+// requires identical results; it returns the counting rep for class
+// inspection.
+func runBoth(t *testing.T, opts []engine.Option) engine.StateRep {
+	t.Helper()
+	ref, err := engine.Run(opts...)
+	if err != nil {
+		t.Fatalf("concrete run: %v", err)
+	}
+	rep := engine.Counting()
+	got, err := engine.Run(append(opts, engine.WithStateRep(rep))...)
+	if err != nil {
+		t.Fatalf("counting run: %v", err)
+	}
+	if resultKey(ref) != resultKey(got) {
+		t.Fatalf("counting diverged from concrete:\n concrete: %s\n counting: %s",
+			resultKey(ref), resultKey(got))
+	}
+	return rep
+}
+
+// TestCountingFastPathCollapse pins the clean-execution class count: no
+// adversary and no faults keep the initial (identifier, input) classes
+// for the whole run, with results identical to Concrete.
+func TestCountingFastPathCollapse(t *testing.T) {
+	rep := runBoth(t, countingOptions(true, 6))
+	if got := rep.(classCounter).ClassCount(); got != 8 {
+		t.Fatalf("fault-free run ended with %d classes, want the 8 initial (id, input) classes", got)
+	}
+}
+
+// TestCountingTargetedDivergenceSplits pins the split lifecycle: a
+// Byzantine targeted send to one member of the {0, 8} class gives it a
+// different inbox, and with persistent protocol state the fork never
+// heals.
+func TestCountingTargetedDivergenceSplits(t *testing.T) {
+	adv := targetRounds{bad: 3, plan: map[int][]msg.TargetedSend{
+		2: {{ToSlot: 8, Body: msg.Raw("poison")}},
+	}}
+	opts := append(countingOptions(true, 6), engine.WithAdversary(adv))
+	rep := runBoth(t, opts)
+	if got := rep.(classCounter).ClassCount(); got != 9 {
+		t.Fatalf("persistent targeted divergence ended with %d classes, want 9", got)
+	}
+}
+
+// TestCountingTargetedDivergenceReunifies pins the merge lifecycle: with
+// transient protocol state the split class re-converges one clean round
+// after the poisoned round, and the fingerprint merge folds it back.
+func TestCountingTargetedDivergenceReunifies(t *testing.T) {
+	adv := targetRounds{bad: 3, plan: map[int][]msg.TargetedSend{
+		2: {{ToSlot: 8, Body: msg.Raw("poison")}},
+	}}
+	opts := append(countingOptions(false, 6), engine.WithAdversary(adv))
+	rep := runBoth(t, opts)
+	if got := rep.(classCounter).ClassCount(); got != 8 {
+		t.Fatalf("transient targeted divergence ended with %d classes, want the 8 re-unified", got)
+	}
+}
+
+// TestCountingByzantineNeighbourDrop pins divergence through the
+// adversary's pre-GST drop mask: suppressing one correct link into one
+// class member splits the class exactly like a targeted send.
+func TestCountingByzantineNeighbourDrop(t *testing.T) {
+	// Slot 4 is the only sender of its (identifier, input) pair, so
+	// losing its message is observable even to innumerate folds (a drop
+	// of a message another homonym duplicates would re-merge instantly).
+	adv := targetRounds{bad: 3, drops: map[[3]int]bool{
+		{2, 4, 8}: true, // round 2: drop the slot 4 -> slot 8 link
+	}}
+	opts := countingOptions(true, 6)
+	opts[0] = engine.WithParams(hom.Params{N: 12, L: 4, T: 1, Synchrony: hom.PartiallySynchronous})
+	opts = append(opts, engine.WithAdversary(adv), engine.WithGST(4))
+	rep := runBoth(t, opts)
+	if got := rep.(classCounter).ClassCount(); got != 9 {
+		t.Fatalf("dropped-link divergence ended with %d classes, want 9", got)
+	}
+}
+
+// TestCountingCrashRecoveryRejoin pins the crash lifecycle: a crash
+// window splits the halted member off before its class prepares; with
+// transient state the rejoined member re-converges after recovery and
+// merges back.
+func TestCountingCrashRecoveryRejoin(t *testing.T) {
+	sched := &inject.Schedule{Crashes: []inject.Crash{{Slot: 8, Round: 2, Recover: 2}}}
+	opts := append(countingOptions(false, 8), engine.WithFaults(sched))
+	rep := runBoth(t, opts)
+	if got := rep.(classCounter).ClassCount(); got != 8 {
+		t.Fatalf("crash-recovery run ended with %d classes, want the 8 re-unified", got)
+	}
+}
+
+// TestCountingCrashStopStaysSplit pins the crash-stop case: the dead
+// member freezes at its pre-crash state and never re-converges while
+// its old classmate's persistent state keeps advancing.
+func TestCountingCrashStopStaysSplit(t *testing.T) {
+	sched := &inject.Schedule{Crashes: []inject.Crash{{Slot: 8, Round: 2}}}
+	opts := append(countingOptions(true, 6), engine.WithFaults(sched))
+	rep := runBoth(t, opts)
+	if got := rep.(classCounter).ClassCount(); got != 9 {
+		t.Fatalf("crash-stop run ended with %d classes, want 9", got)
+	}
+}
+
+// TestCountingDegeneracyError pins the class budget: an adversary that
+// splinters the two-member classes of groups 1 and 2 pushes the count
+// to 10, exceeding a budget of 9, and the run fails with a typed
+// *DegeneracyError instead of degrading silently.
+func TestCountingDegeneracyError(t *testing.T) {
+	plan := map[int][]msg.TargetedSend{2: {}}
+	for _, slot := range []int{0, 1, 8, 9} {
+		plan[2] = append(plan[2], msg.TargetedSend{
+			ToSlot: slot, Body: msg.Raw(fmt.Sprintf("poison-%d", slot)),
+		})
+	}
+	adv := targetRounds{bad: 3, plan: plan}
+	opts := append(countingOptions(true, 6),
+		engine.WithAdversary(adv), engine.WithStateRep(engine.CountingLimited(9)))
+	_, err := engine.Run(opts...)
+	var deg *engine.DegeneracyError
+	if !errors.As(err, &deg) {
+		t.Fatalf("want *DegeneracyError, got %v", err)
+	}
+	if deg.Limit != 9 || deg.Classes <= 9 {
+		t.Fatalf("degeneracy error fields off: %+v", deg)
+	}
+}
+
+// TestCountingSingletonFallback pins the no-Cloner fallback: a protocol
+// without CloneProcess runs under Counting as one class per slot with
+// results identical to Concrete, and a class budget below n fails
+// immediately with the typed error.
+func TestCountingSingletonFallback(t *testing.T) {
+	opts := []engine.Option{
+		engine.WithParams(hom.Params{N: 4, L: 4, T: 0, Synchrony: hom.Synchronous}),
+		engine.WithAssignment(hom.RoundRobinAssignment(4, 4)),
+		engine.WithInputs(0, 1, 0, 1),
+		engine.WithProcess(func(int) engine.Process { return &echoProc{} }),
+		engine.WithRounds(3),
+	}
+	rep := runBoth(t, opts)
+	if got := rep.(classCounter).ClassCount(); got != 4 {
+		t.Fatalf("singleton fallback ended with %d classes, want one per slot", got)
+	}
+	_, err := engine.Run(append(opts, engine.WithStateRep(engine.CountingLimited(2)))...)
+	var deg *engine.DegeneracyError
+	if !errors.As(err, &deg) {
+		t.Fatalf("singleton fallback under budget 2: want *DegeneracyError, got %v", err)
+	}
+}
+
+// TestCountingReceptionModes pins counting-vs-concrete parity across
+// both reception modes and both delivery modes on a faulty execution
+// (the slow path) and a clean one (the fast path).
+func TestCountingReceptionModes(t *testing.T) {
+	adv := targetRounds{bad: 3, plan: map[int][]msg.TargetedSend{
+		2: {{ToSlot: 8, Body: msg.Raw("poison")}},
+	}}
+	for _, delivery := range []engine.DeliveryMode{engine.DeliverBatched, engine.DeliverPerMessage} {
+		for _, reception := range []engine.ReceptionMode{engine.ReceiveGroupShared, engine.ReceivePerRecipient} {
+			for _, faulty := range []bool{false, true} {
+				name := fmt.Sprintf("d%d-r%d-faulty%t", delivery, reception, faulty)
+				t.Run(name, func(t *testing.T) {
+					opts := append(countingOptions(false, 6),
+						engine.WithDelivery(delivery), engine.WithReception(reception))
+					if faulty {
+						opts = append(opts, engine.WithAdversary(adv))
+					}
+					runBoth(t, opts)
+				})
+			}
+		}
+	}
+}

@@ -87,6 +87,17 @@ type Scenario struct {
 	// Result.Stopped = "message-budget" when it is reached. 0 =
 	// unlimited.
 	MaxSends int `json:"max_sends,omitempty"`
+	// StateRep selects the engine's state representation by name: "" or
+	// "concrete", "concurrent", or "counting" (equivalence classes with
+	// multiplicities). All representations replay a seed byte-identically;
+	// the knob exists so a seed can pin the representation that first
+	// exposed a bug. Unknown names fail the scenario with a typed
+	// engine.ErrUnknownStateRep.
+	StateRep string `json:"state_rep,omitempty"`
+	// MaxClasses bounds the counting representation's class count
+	// (engine.CountingLimited); an execution whose adversary forces more
+	// classes fails with a typed *engine.DegeneracyError. 0 = unlimited.
+	MaxClasses int `json:"max_classes,omitempty"`
 }
 
 // SelectorSpec names the corruption selector: "none", "first", "random"
@@ -343,7 +354,15 @@ func (sc Scenario) Options() ([]engine.Option, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []engine.Option{engine.FromConfig(cfg)}, nil
+	opts := []engine.Option{engine.FromConfig(cfg)}
+	if sc.StateRep != "" || sc.MaxClasses > 0 {
+		rep, err := engine.StateRepByName(sc.StateRep, sc.MaxClasses)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: %w", err)
+		}
+		opts = append(opts, engine.WithStateRep(rep))
+	}
+	return opts, nil
 }
 
 // Class is the fuzzer's classification of one execution.
@@ -482,13 +501,35 @@ func run(sc Scenario, opts Options) (out *Outcome) {
 		return pr
 	}
 	eopts := []engine.Option{engine.FromConfig(cfg)}
+	if sc.StateRep != "" || sc.MaxClasses > 0 {
+		rep, rerr := engine.StateRepByName(sc.StateRep, sc.MaxClasses)
+		if rerr != nil {
+			out.Detail = rerr.Error()
+			return out
+		}
+		eopts = append(eopts, engine.WithStateRep(rep))
+	}
 	if opts.Invariants {
 		eopts = append(eopts, engine.WithInvariants())
 	}
-	res, err := engine.Run(eopts...)
+	eng, err := engine.New(eopts...)
 	if err != nil {
 		out.Detail = "sim: " + err.Error()
 		return out
+	}
+	res, err := eng.Run()
+	if err != nil {
+		out.Detail = "sim: " + err.Error()
+		return out
+	}
+	// Representations that own their processes (counting) never call the
+	// factory per slot, and splits/merges can retire the instance the
+	// factory returned; the engine's per-slot table always points at the
+	// live one, so prefer it wherever it is populated.
+	for s := range procs {
+		if p := eng.Process(s); p != nil {
+			procs[s] = p
+		}
 	}
 	out.Rounds = res.Rounds
 	out.Stopped = string(res.Stopped)

@@ -342,6 +342,71 @@ func NewPooledInboxSoA(numerate bool, arena *SendArena, idx []int32) *Inbox {
 // count map and its KeyID count array) across rounds.
 var inboxPool = sync.Pool{New: func() any { return new(Inbox) }}
 
+// NewPooledInboxWeighted builds a pooled inbox for the counting state
+// representation: idx selects the round's distinct send entries and
+// weights[j] says how many copies of entry idx[j] the receiver got (the
+// class-multiplicity fan-in that a concrete execution would deliver as
+// weights[j] separate messages). A nil weights slice means one copy each.
+//
+// Unlike the SoA constructor, the entries are copied out of the arena, so
+// the inbox stays valid across SendArena.Reset — which is what lets the
+// counting engine cache a filled inbox across rounds. The copies alias
+// the per-execution intern table (keys and KeyIDs stay stable), so the
+// inbox runs on the string-free interned path and recycles normally.
+func NewPooledInboxWeighted(numerate bool, arena *SendArena, idx []int32, weights []int32) *Inbox {
+	in := inboxPool.Get().(*Inbox)
+	in.pooled = true
+	in.fillWeighted(numerate, arena, idx, weights)
+	return in
+}
+
+// fillWeighted folds weighted arena entries into the dense counts,
+// keeping first sights as owned Message copies. Duplicate KeyIDs fold
+// exactly as repeated concrete deliveries would: multiplicities add for
+// a numerate receiver and collapse for an innumerate one.
+func (in *Inbox) fillWeighted(numerate bool, arena *SendArena, idx []int32, weights []int32) {
+	in.numerate = numerate
+	in.total = 0
+	in.idxOK, in.viewOK = false, false
+	in.interned = true
+	if cap(in.msgs) < len(idx) {
+		in.msgs = make([]Message, 0, len(idx))
+	}
+	kids := arena.kids
+	maxKid := KeyID(0)
+	for _, i := range idx {
+		if kids[i] > maxKid {
+			maxKid = kids[i]
+		}
+	}
+	in.growCounts(maxKid)
+	for j, i := range idx {
+		kid := kids[i]
+		w := int32(1)
+		if weights != nil {
+			w = weights[j]
+		}
+		if w <= 0 {
+			continue
+		}
+		if c := in.kidCount[kid]; c > 0 {
+			if numerate {
+				in.kidCount[kid] = c + w
+				in.total += int(w)
+			}
+			continue
+		}
+		if numerate {
+			in.kidCount[kid] = w
+			in.total += int(w)
+		} else {
+			in.kidCount[kid] = 1
+			in.total++
+		}
+		in.msgs = append(in.msgs, arena.Message(i))
+	}
+}
+
 // NewPooledInbox is NewInbox backed by a recycled shell. The caller owns
 // the inbox until it calls Recycle; afterwards the inbox and every slice
 // returned by its accessors are invalid. The simulation engines use this

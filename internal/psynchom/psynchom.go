@@ -548,3 +548,136 @@ func (pr *Process) Release() {
 		pr.bc.Release()
 	}
 }
+
+// CloneProcess implements sim.Cloner: a deep copy sharing no mutable
+// state — the accept tables, locks, proper set and the broadcast layer
+// are all forked.
+func (pr *Process) CloneProcess() sim.Process {
+	cp := &Process{
+		opts:          pr.opts,
+		params:        pr.params,
+		id:            pr.id,
+		bc:            pr.bc.Clone(),
+		proper:        pr.proper.Clone(),
+		locks:         make(map[hom.Value]int, len(pr.locks)),
+		decision:      pr.decision,
+		proposeAcc:    make(map[int]map[hom.Identifier]hom.ValueSet, len(pr.proposeAcc)),
+		voteAcc:       make(map[int]map[hom.Value]map[hom.Identifier]bool, len(pr.voteAcc)),
+		lockSeen:      make(map[hom.Value]bool, len(pr.lockSeen)),
+		leaderLockVal: pr.leaderLockVal,
+	}
+	for v, ph := range pr.locks {
+		cp.locks[v] = ph
+	}
+	for ph, byID := range pr.proposeAcc {
+		m := make(map[hom.Identifier]hom.ValueSet, len(byID))
+		for id, set := range byID {
+			m[id] = set.Clone()
+		}
+		cp.proposeAcc[ph] = m
+	}
+	for ph, byVal := range pr.voteAcc {
+		m := make(map[hom.Value]map[hom.Identifier]bool, len(byVal))
+		for v, ids := range byVal {
+			im := make(map[hom.Identifier]bool, len(ids))
+			for id := range ids {
+				im[id] = true
+			}
+			m[v] = im
+		}
+		cp.voteAcc[ph] = m
+	}
+	for v := range pr.lockSeen {
+		cp.lockSeen[v] = true
+	}
+	return cp
+}
+
+// StateFingerprint implements sim.StateHasher: a deterministic fold of
+// the full observable state — maps iterated in sorted key order, value
+// sets through their sorted Values view, the broadcast layer through
+// its arena-order Fingerprint — using canonical keys only.
+func (pr *Process) StateFingerprint() msg.StateHash {
+	h := msg.NewStateHash().Int(int(pr.decision)).Int(int(pr.leaderLockVal))
+	h = hashValueSet(h, pr.proper)
+	h = h.Int(len(pr.locks))
+	for _, v := range sortedValueKeys(len(pr.locks), func(f func(hom.Value)) {
+		for v := range pr.locks {
+			f(v)
+		}
+	}) {
+		h = h.Int(int(v)).Int(pr.locks[v])
+	}
+	h = h.Int(len(pr.lockSeen))
+	for _, v := range sortedValueKeys(len(pr.lockSeen), func(f func(hom.Value)) {
+		for v := range pr.lockSeen {
+			f(v)
+		}
+	}) {
+		h = h.Int(int(v))
+	}
+	h = h.Int(len(pr.proposeAcc))
+	for _, ph := range sortedIntKeys(pr.proposeAcc) {
+		byID := pr.proposeAcc[ph]
+		h = h.Int(ph).Int(len(byID))
+		ids := make([]hom.Identifier, 0, len(byID))
+		for id := range byID {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			h = hashValueSet(h.Int(int(id)), byID[id])
+		}
+	}
+	h = h.Int(len(pr.voteAcc))
+	for _, ph := range sortedIntKeys(pr.voteAcc) {
+		byVal := pr.voteAcc[ph]
+		h = h.Int(ph).Int(len(byVal))
+		for _, v := range sortedValueKeys(len(byVal), func(f func(hom.Value)) {
+			for v := range byVal {
+				f(v)
+			}
+		}) {
+			ids := byVal[v]
+			h = h.Int(int(v)).Int(len(ids))
+			sorted := make([]hom.Identifier, 0, len(ids))
+			for id := range ids {
+				sorted = append(sorted, id)
+			}
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			for _, id := range sorted {
+				h = h.Int(int(id))
+			}
+		}
+	}
+	return pr.bc.Fingerprint(h)
+}
+
+// hashValueSet folds a value set through its sorted Values view.
+func hashValueSet(h msg.StateHash, s hom.ValueSet) msg.StateHash {
+	vs := s.Values()
+	h = h.Int(len(vs))
+	for _, v := range vs {
+		h = h.Int(int(v))
+	}
+	return h
+}
+
+// sortedValueKeys collects hom.Value keys yielded by iterate and sorts
+// them ascending (map iteration order must never reach a fingerprint).
+func sortedValueKeys(n int, iterate func(func(hom.Value))) []hom.Value {
+	out := make([]hom.Value, 0, n)
+	iterate(func(v hom.Value) { out = append(out, v) })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedIntKeys returns a map's int keys sorted ascending.
+func sortedIntKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -32,6 +32,15 @@ type (
 	Observer = engine.Observer
 	// Releaser is the optional post-execution release hook.
 	Releaser = engine.Releaser
+	// Cloner is the optional deep-copy extension that lets the counting
+	// representation fork a process at a class split.
+	Cloner = engine.Cloner
+	// StateHasher is the optional state-fingerprint extension that lets
+	// the counting representation re-unify split classes.
+	StateHasher = engine.StateHasher
+	// DegeneracyError reports a counting-representation class budget
+	// overflow.
+	DegeneracyError = engine.DegeneracyError
 	// BatchDropper is the optional batched drop-mask extension.
 	BatchDropper = engine.BatchDropper
 	// Config assembles one execution (legacy aggregate form).

@@ -256,3 +256,22 @@ func (pr *Process) receiveRunning(phase int, in *msg.Inbox) {
 func (pr *Process) Decision() (hom.Value, bool) {
 	return pr.decision, pr.decision != hom.NoValue
 }
+
+// CloneProcess implements sim.Cloner. The algorithm is shared and
+// stateless and states are immutable values, so a struct copy is an
+// independent fork.
+func (pr *Process) CloneProcess() sim.Process {
+	cp := *pr
+	return &cp
+}
+
+// StateFingerprint implements sim.StateHasher: the canonical state key
+// plus the decision determine all future behaviour (alg, t and id are
+// constant across a class).
+func (pr *Process) StateFingerprint() msg.StateHash {
+	h := msg.NewStateHash()
+	if pr.state != nil {
+		h = h.String(pr.state.Key())
+	}
+	return h.Int(int(pr.decision))
+}
